@@ -1,0 +1,31 @@
+"""Shared fixtures for the benchmark harness.
+
+The expensive preliminaries — the 7200-experiment training grid, the
+fitted predictors, and the iteration study behind Fig. 9 / Tables VI-IX
+— are built once per session and shared by every bench.
+"""
+
+import pytest
+
+from repro.experiments import default_context, run_iteration_study
+
+
+@pytest.fixture(scope="session")
+def ctx():
+    """Simulator + trained models (the one-off setup cost)."""
+    return default_context(0)
+
+
+@pytest.fixture(scope="session")
+def study(ctx):
+    """The full iteration study (Fig. 9, Tables VI-IX), 3 seeds."""
+    return run_iteration_study(ctx, n_seeds=3)
+
+
+def run_once(benchmark, fn):
+    """Run an experiment exactly once under pytest-benchmark timing.
+
+    These are experiment regenerations, not microbenchmarks: one round
+    gives the regeneration cost without re-running minute-scale studies.
+    """
+    return benchmark.pedantic(fn, rounds=1, iterations=1)

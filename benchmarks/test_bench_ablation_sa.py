@@ -1,0 +1,76 @@
+"""Ablation — annealing schedule (DESIGN.md section 5).
+
+The paper tunes the iteration budget via the initial temperature and
+cooling function (section IV-C).  This bench sweeps the initial
+temperature at a fixed budget and the budget at a fixed temperature,
+showing the exploration/exploitation trade-off on the real landscape.
+"""
+
+import numpy as np
+from conftest import run_once
+
+from repro.core import run_em, run_saml
+from repro.experiments import render_table
+
+TEMPERATURES = (0.25, 1.0, 4.0)
+BUDGETS = (100, 500, 2000)
+SEEDS = range(4)
+
+
+def test_initial_temperature_sweep(benchmark, ctx):
+    ml = ctx.ml()
+
+    def sweep():
+        em = run_em(ctx.space, ctx.sim, 2770.0)
+        rows = []
+        for t0 in TEMPERATURES:
+            times = [
+                run_saml(
+                    ctx.space, ml, ctx.sim, 2770.0,
+                    iterations=500, seed=s, initial_temperature=t0,
+                ).measured_time
+                for s in SEEDS
+            ]
+            rows.append((f"T0={t0:g}", float(np.mean(times)), float(np.std(times))))
+        return em, rows
+
+    em, rows = run_once(benchmark, sweep)
+    print()
+    print(render_table(
+        ["schedule", "mean time [s]", "std [s]"],
+        rows,
+        title=f"SA initial-temperature ablation @500 iters "
+        f"(EM = {em.measured_time:.3f} s)",
+        float_format="{:.4f}",
+    ))
+    # Every schedule still lands within 2x of the optimum; the hottest
+    # start is the most variable.
+    for _, mean, _ in rows:
+        assert mean < 2.0 * em.measured_time
+
+
+def test_budget_sweep(benchmark, ctx):
+    ml = ctx.ml()
+
+    def sweep():
+        rows = []
+        for budget in BUDGETS:
+            times = [
+                run_saml(
+                    ctx.space, ml, ctx.sim, 2770.0, iterations=budget, seed=s
+                ).measured_time
+                for s in SEEDS
+            ]
+            rows.append((budget, float(np.mean(times))))
+        return rows
+
+    rows = run_once(benchmark, sweep)
+    print()
+    print(render_table(
+        ["iterations", "mean time [s]"],
+        rows,
+        title="SA budget ablation (mouse genome)",
+        float_format="{:.4f}",
+    ))
+    # More budget never hurts much (within stochastic tolerance).
+    assert rows[-1][1] <= rows[0][1] * 1.05

@@ -1,0 +1,32 @@
+"""E1 — Figure 2: motivational work-distribution sweeps.
+
+Regenerates all three subplots and prints the normalized 1-10 series.
+Shape checks: CPU-only wins the small input, a 60/40-70/30 split wins
+the large input, and the co-processor takes ~70% when the host has only
+4 threads.
+"""
+
+from conftest import run_once
+
+from repro.experiments import render_series, run_fig2
+
+
+def test_fig2_motivational_sweeps(benchmark, ctx):
+    results = run_once(benchmark, lambda: run_fig2(ctx.sim))
+
+    for name, res in results.items():
+        print()
+        print(
+            render_series(
+                list(res.labels),
+                {"normalized": list(res.normalized)},
+                x_label="ratio",
+                title=f"{name} (size={res.scenario.size_mb:g} MB, "
+                f"threads={res.scenario.cpu_threads}, best={res.best_label})",
+                float_format="{:.2f}",
+            )
+        )
+
+    assert results["fig2a"].best_label == "CPU only"
+    assert results["fig2b"].best_label in ("70/30", "60/40", "50/50")
+    assert results["fig2c"].best_label in ("40/60", "30/70", "20/80")

@@ -1,0 +1,45 @@
+"""E2/E3 — Figures 5-6: measured vs predicted execution-time curves.
+
+Host curves at scatter affinity (6/12/24/48 threads) and device curves
+at balanced affinity (30/60/120/240 threads) over the pooled genome-
+fraction size grid.  Result 1's claim: predictions match measurements.
+"""
+
+import numpy as np
+from conftest import run_once
+
+from repro.experiments import fig5_curves, fig6_curves, render_series
+from repro.ml import percent_error
+
+
+def _print(curves, title):
+    for c in curves:
+        idx = list(range(0, len(c.sizes_mb), 16))
+        print()
+        print(
+            render_series(
+                [round(c.sizes_mb[i]) for i in idx],
+                {
+                    "measured [s]": [c.measured[i] for i in idx],
+                    "predicted [s]": [c.predicted[i] for i in idx],
+                },
+                x_label="size [MB]",
+                title=f"{title}: {c.threads} threads ({c.affinity})",
+            )
+        )
+
+
+def test_fig5_host_prediction_curves(benchmark, ctx):
+    curves = run_once(benchmark, lambda: fig5_curves(ctx))
+    _print(curves, "Fig. 5")
+    for c in curves:
+        pct = percent_error(np.array(c.measured), np.array(c.predicted))
+        assert np.median(pct) < 10.0  # Result 1
+
+
+def test_fig6_device_prediction_curves(benchmark, ctx):
+    curves = run_once(benchmark, lambda: fig6_curves(ctx))
+    _print(curves, "Fig. 6")
+    for c in curves:
+        pct = percent_error(np.array(c.measured), np.array(c.predicted))
+        assert np.median(pct) < 10.0  # Result 1

@@ -1,0 +1,39 @@
+"""E4/E5 — Figures 7-8: prediction absolute-error histograms.
+
+Host histogram over the 1440 held-out host predictions, device over the
+2160 held-out device predictions, with the paper's bin edges.
+"""
+
+from conftest import run_once
+
+from repro.experiments import fig7_histogram, fig8_histogram, render_histogram
+
+
+def test_fig7_host_error_histogram(benchmark, ctx):
+    h = run_once(benchmark, lambda: fig7_histogram(ctx))
+    print()
+    print(render_histogram(
+        [r[0] for r in h.rows()],
+        [r[1] for r in h.rows()],
+        title="Fig. 7: host absolute-error histogram",
+    ))
+    assert h.n_predictions == 1440
+    # Shape: the mass concentrates in the low-error bins.
+    assert sum(h.counts[:4]) > 0.5 * h.n_predictions
+
+
+def test_fig8_device_error_histogram(benchmark, ctx):
+    h = run_once(benchmark, lambda: fig8_histogram(ctx))
+    print()
+    print(render_histogram(
+        [r[0] for r in h.rows()],
+        [r[1] for r in h.rows()],
+        title="Fig. 8: device absolute-error histogram",
+    ))
+    assert h.n_predictions == 2160
+    # Device errors span a wider range (execution times 0.9-42 s), but
+    # most predictions still land under 0.3 s, as in the paper.
+    below_03 = sum(
+        c for e, c in zip(h.edges, h.counts) if e <= 0.3
+    )
+    assert below_03 > 0.5 * h.n_predictions

@@ -1,0 +1,38 @@
+"""E8 — Figure 9: SAM/SAML convergence vs the EM and EML references.
+
+One subplot per genome: best measured execution time of the SA-suggested
+configuration at each iteration budget, with the EM optimum (solid line
+in the paper) and the EML suggestion (dashed) as horizontal references.
+"""
+
+from conftest import run_once
+
+from repro.dna import GENOME_ORDER
+from repro.experiments import CHECKPOINTS, render_series
+
+
+def test_fig9_convergence_curves(benchmark, study):
+    series_by_genome = run_once(
+        benchmark, lambda: {g: study.fig9_series(g) for g in GENOME_ORDER}
+    )
+
+    for genome in GENOME_ORDER:
+        print()
+        print(
+            render_series(
+                list(CHECKPOINTS),
+                series_by_genome[genome],
+                x_label="iterations",
+                title=f"Fig. 9 ({genome}): best measured time [s]",
+            )
+        )
+
+    for genome, series in series_by_genome.items():
+        em = series["EM"][0]
+        # EM lower-bounds everything (it is the measured optimum).
+        assert all(v >= em - 1e-9 for v in series["SAML"])
+        assert all(v >= em - 1e-9 for v in series["SAM"])
+        # Convergence shape: the final SAML budget is within 15% of EM
+        # and no worse than the first budget (allowing SA stochasticity).
+        assert series["SAML"][-1] <= series["SAML"][0] * 1.05
+        assert series["SAML"][-1] <= em * 1.15

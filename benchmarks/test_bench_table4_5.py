@@ -1,0 +1,32 @@
+"""E6/E7 — Tables IV-V: prediction accuracy per thread count.
+
+Paper averages: host 0.027 s / 5.24%; device 0.074 s / 3.13%.  The
+reproduction asserts the same single-digit percent-error band.
+"""
+
+from conftest import run_once
+
+from repro.experiments import render_table, table4, table5
+
+
+def _print(t, title):
+    headers = ["Threads", *[str(x) for x in t.threads], "avg"]
+    print()
+    print(render_table(headers, t.rows(), title=title))
+
+
+def test_table4_host_prediction_accuracy(benchmark, ctx):
+    t = run_once(benchmark, lambda: table4(ctx))
+    _print(t, "Table IV: host prediction accuracy (paper avg: 0.027 s / 5.24%)")
+    assert t.threads == (2, 6, 12, 24, 36, 48)
+    assert t.avg_percent < 8.0
+    assert t.avg_absolute_s < 0.1
+
+
+def test_table5_device_prediction_accuracy(benchmark, ctx):
+    t = run_once(benchmark, lambda: table5(ctx))
+    _print(t, "Table V: device prediction accuracy (paper avg: 0.074 s / 3.13%)")
+    assert t.threads == (2, 4, 8, 16, 30, 60, 120, 180, 240)
+    assert t.avg_percent < 8.0
+    # Device absolute errors are larger (wider time span), as in the paper.
+    assert t.avg_absolute_s < 0.5

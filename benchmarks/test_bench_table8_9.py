@@ -1,0 +1,45 @@
+"""E11/E12 — Tables VIII-IX: heterogeneous speedups over the baselines.
+
+Paper: SAML at 1000 iterations reaches up to 1.74x over host-only and up
+to 2.18x over device-only; EM's bounds are 1.95x and 2.36x.  The
+reproduction asserts the same bands ("who wins, by roughly what factor").
+"""
+
+from conftest import run_once
+
+from repro.experiments import CHECKPOINTS, render_table
+
+HDR = ["DNA", *[str(c) for c in CHECKPOINTS], "EM"]
+
+
+def test_table8_speedup_vs_host_only(benchmark, study):
+    rows = run_once(benchmark, study.table8)
+    print()
+    print(render_table(
+        HDR, rows,
+        title="Table VIII: speedup vs host-only, 48 threads "
+        "(paper: SAML@1000 up to 1.74x, EM up to 1.95x)",
+    ))
+    for row in rows:
+        em_speedup = float(row[-1])
+        at_2000 = float(row[-2])
+        assert 1.3 < em_speedup < 2.2
+        assert at_2000 > 1.2
+        # SAML cannot beat the measured optimum.
+        assert at_2000 <= em_speedup * 1.01
+
+
+def test_table9_speedup_vs_device_only(benchmark, study):
+    rows = run_once(benchmark, study.table9)
+    print()
+    print(render_table(
+        HDR, rows,
+        title="Table IX: speedup vs device-only, 240 threads "
+        "(paper: SAML@1000 up to 2.18x, EM up to 2.36x)",
+    ))
+    for row in rows:
+        em_speedup = float(row[-1])
+        at_2000 = float(row[-2])
+        assert 1.8 < em_speedup < 2.7
+        assert at_2000 > 1.5
+        assert at_2000 <= em_speedup * 1.01

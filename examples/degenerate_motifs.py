@@ -1,0 +1,49 @@
+#!/usr/bin/env python
+"""Degenerate-motif search with the regex engine (general PaREM).
+
+Real motif databases describe binding sites as IUPAC consensus strings
+(W = A|T, R = A|G, N = any base, ...), not exact strings.  This example
+compiles consensus patterns — including quantified regexes — to DFAs via
+Thompson construction + subset construction, scans a synthetic genome,
+and verifies the chunk-parallel count matches the sequential one even
+though these automata lack the Aho-Corasick suffix property.
+
+Run:  python examples/degenerate_motifs.py
+"""
+
+from repro.dna import GENOMES, compile_regex, expand_iupac, genome_sample
+
+#: Consensus sites from the JASPAR/TRANSFAC tradition plus two genuinely
+#: regular patterns (microsatellite repeats).
+PATTERNS = {
+    "TATA box (consensus)": "TATAWAW",
+    "CAAT box": "GGNCAATCT",
+    "E-box": "CANNTG",
+    "GC box": "GGGCGG",
+    "CA microsatellite": "CACACA(CA)+",
+    "poly-A tract": "AAAAA+",
+}
+
+
+def main() -> None:
+    codes = genome_sample(GENOMES["human"], n_bases=1_000_000)
+    print(f"Scanning {len(codes)/1e6:.1f} Mbases of synthetic human genome\n")
+    print(f"{'motif':24s} {'pattern':16s} {'expanded':22s} "
+          f"{'DFA states':>10s} {'hits':>8s}")
+
+    for name, pattern in PATTERNS.items():
+        cre = compile_regex(pattern)
+        hits = cre.count(codes)
+        parallel = cre.count_parallel(codes, n_chunks=8)
+        assert parallel == hits, "chunk-parallel scan must be exact"
+        print(f"{name:24s} {pattern:16s} {expand_iupac(pattern):22s} "
+              f"{cre.dfa.n_states:10d} {hits:8d}")
+
+    print("\nAll counts verified against the 8-chunk parallel scan: the")
+    print("all-states boundary maps keep general regex DFAs exact across")
+    print("chunk cuts, just like the suffix-property shortcut does for")
+    print("fixed motif sets.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,72 @@
+#!/usr/bin/env python
+"""DNA motif analysis with the finite-automata engine.
+
+Demonstrates the actual workload substrate: build an Aho-Corasick
+automaton for promoter + restriction-site motifs, scan a synthetic
+genome sample with all engines (sequential reference, exact vectorized,
+chunk-parallel PaREM), verify they agree, and split the scan between a
+"host" and a "device" share the way the offload runtime does —
+including a motif-spanning cut, which state hand-off counts exactly.
+
+Run:  python examples/dna_motif_analysis.py
+"""
+
+import time
+
+import numpy as np
+
+from repro.dna import (
+    DEFAULT_MOTIFS,
+    DNASequenceAnalysis,
+    GENOMES,
+    WindowedScanner,
+    genome_sample,
+    parem_scan,
+    scan_sequential,
+)
+
+
+def main() -> None:
+    app = DNASequenceAnalysis(DEFAULT_MOTIFS)
+    print(f"Motif set '{DEFAULT_MOTIFS.name}': {len(DEFAULT_MOTIFS)} patterns, "
+          f"automaton has {app.dfa.n_states} states "
+          f"({app.dfa.table_kb:.1f} KB transition table)")
+
+    # A 2 MB sample of the paper's human genome (GC content matched).
+    codes = genome_sample(GENOMES["human"], n_bases=2_000_000)
+    print(f"Scanning a {len(codes)/1e6:.1f} Mbase synthetic human sample...\n")
+
+    t0 = time.perf_counter()
+    ref = scan_sequential(app.dfa, codes[:200_000])
+    t_seq = time.perf_counter() - t0
+    print(f"sequential (first 200 kb) : {ref.total:6d} matches  "
+          f"({0.2 / t_seq:.2f} MB/s)")
+
+    scanner = WindowedScanner(app.dfa)
+    t0 = time.perf_counter()
+    vec = scanner.scan(codes)
+    t_vec = time.perf_counter() - t0
+    print(f"vectorized (full sample)  : {vec.total:6d} matches  "
+          f"({len(codes) / 1e6 / t_vec:.2f} MB/s)")
+
+    t0 = time.perf_counter()
+    par = parem_scan(app.dfa, codes, n_chunks=8)
+    t_par = time.perf_counter() - t0
+    print(f"PaREM 8 chunks            : {par.total:6d} matches  "
+          f"({len(codes) / 1e6 / t_par:.2f} MB/s)")
+    assert par.total == vec.total and np.array_equal(par.per_pattern, vec.per_pattern)
+
+    print("\nPer-motif counts (vectorized engine):")
+    for motif, count in zip(app.dfa.patterns, vec.per_pattern):
+        print(f"  {motif:8s} {int(count):8d}")
+
+    # Host/device split at 60/40 — a motif may straddle the cut; the DFA
+    # state is handed across so nothing is lost or double counted.
+    split = app.analyze_split(codes, host_fraction=60.0,
+                              host_workers=4, device_workers=8)
+    print(f"\n60/40 split scan: host={split.host.total} device={split.device.total} "
+          f"total={split.total} (matches single scan: {split.total == vec.total})")
+
+
+if __name__ == "__main__":
+    main()

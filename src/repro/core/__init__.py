@@ -1,0 +1,90 @@
+"""The paper's contribution: combinatorial optimization (simulated
+annealing) + machine learning for near-optimal work distribution on
+heterogeneous systems.
+"""
+
+from .annealing import (
+    AnnealingResult,
+    AnnealingStep,
+    SimulatedAnnealing,
+    cooling_rate_for,
+)
+from .energy import ConfigurationEvaluator, Energy
+from .enumeration import (
+    EnumerationResult,
+    enumerate_best,
+    enumerate_best_separable,
+)
+from .evaluators import MeasurementEvaluator, MLEvaluator, make_objective
+from .methods import (
+    METHOD_PROPERTIES,
+    MethodResult,
+    run_em,
+    run_eml,
+    run_method,
+    run_sam,
+    run_saml,
+)
+from .params import (
+    DEFAULT_SPACE,
+    DEVICE_THREADS,
+    EVAL_HOST_THREADS,
+    FRACTION_STEP,
+    FRACTIONS,
+    TABLE1_HOST_THREADS,
+    ParameterSpace,
+    SystemConfiguration,
+    device_only_config,
+    host_only_config,
+)
+from .training import (
+    DEFAULT_TRAINING_SIZES_MB,
+    TRAINING_FRACTIONS,
+    TrainedModels,
+    TrainingData,
+    default_model_factory,
+    generate_training_data,
+    train_models,
+)
+from .tuner import TuningOutcome, WorkDistributionTuner
+
+__all__ = [
+    "AnnealingResult",
+    "AnnealingStep",
+    "SimulatedAnnealing",
+    "cooling_rate_for",
+    "ConfigurationEvaluator",
+    "Energy",
+    "EnumerationResult",
+    "enumerate_best",
+    "enumerate_best_separable",
+    "MeasurementEvaluator",
+    "MLEvaluator",
+    "make_objective",
+    "METHOD_PROPERTIES",
+    "MethodResult",
+    "run_em",
+    "run_eml",
+    "run_method",
+    "run_sam",
+    "run_saml",
+    "DEFAULT_SPACE",
+    "DEVICE_THREADS",
+    "EVAL_HOST_THREADS",
+    "FRACTION_STEP",
+    "FRACTIONS",
+    "TABLE1_HOST_THREADS",
+    "ParameterSpace",
+    "SystemConfiguration",
+    "device_only_config",
+    "host_only_config",
+    "DEFAULT_TRAINING_SIZES_MB",
+    "TRAINING_FRACTIONS",
+    "TrainedModels",
+    "TrainingData",
+    "default_model_factory",
+    "generate_training_data",
+    "train_models",
+    "TuningOutcome",
+    "WorkDistributionTuner",
+]

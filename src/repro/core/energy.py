@@ -1,0 +1,45 @@
+"""The objective ("energy") function of the optimization (Eq. 2).
+
+``E = max(T_host, T_device)`` — the application's execution time under
+the overlapped offload model.  An :class:`Energy` bundles the scalar
+with its per-side breakdown so methods can report imbalance and so the
+ML path can predict the two sides independently (as the paper's Fig. 3
+box "Predict Thost and Tdevice; E' = max(Thost, Tdevice)" prescribes).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Protocol
+
+from .params import SystemConfiguration
+
+
+@dataclass(frozen=True)
+class Energy:
+    """Objective value of one configuration."""
+
+    t_host: float
+    t_device: float
+
+    @property
+    def value(self) -> float:
+        """E = max(T_host, T_device) (Eq. 2)."""
+        return max(self.t_host, self.t_device)
+
+    def __lt__(self, other: "Energy") -> bool:
+        return self.value < other.value
+
+
+class ConfigurationEvaluator(Protocol):
+    """Anything that can score a configuration for a given input size.
+
+    Implementations: measurement-backed (runs the simulator and counts
+    experiments) and ML-backed (predicts; free).  See
+    :mod:`repro.core.evaluators`.
+    """
+
+    def evaluate(self, config: SystemConfiguration, size_mb: float) -> Energy: ...
+
+    @property
+    def evaluations(self) -> int: ...

@@ -1,0 +1,168 @@
+"""Configuration evaluators: measurements vs machine-learning prediction.
+
+Table II's two evaluation columns.  Both expose the same protocol so the
+annealer and the enumerator are agnostic of how a configuration is
+scored:
+
+* :class:`MeasurementEvaluator` — runs the (simulated) platform; slow
+  and counted, one *experiment* per new configuration (memoized, since
+  the paper measures each configuration once).
+* :class:`MLEvaluator` — two trained regressors predict ``T_host`` and
+  ``T_device``; free at search time, which is what lets SAML/EML
+  explore without touching the machine.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+import numpy as np
+
+from ..machines.simulator import PlatformSimulator
+from ..ml.dataset import Standardizer, encode_device_row, encode_host_row
+from ..ml.validation import Regressor
+from .energy import Energy
+from .params import SystemConfiguration
+
+
+class MeasurementEvaluator:
+    """Score configurations by timed execution on the platform."""
+
+    def __init__(self, sim: PlatformSimulator) -> None:
+        self.sim = sim
+        self._cache: dict[tuple, Energy] = {}
+        self._evaluations = 0
+
+    @property
+    def evaluations(self) -> int:
+        """Distinct configurations measured (the paper's experiment count)."""
+        return self._evaluations
+
+    def evaluate(self, config: SystemConfiguration, size_mb: float) -> Energy:
+        """Measure one configuration (cached: one experiment per config)."""
+        key = (
+            config.host_threads,
+            config.host_affinity,
+            config.device_threads,
+            config.device_affinity,
+            config.host_fraction,
+            size_mb,
+        )
+        hit = self._cache.get(key)
+        if hit is not None:
+            return hit
+        host_mb = size_mb * config.host_fraction / 100.0
+        device_mb = size_mb - host_mb
+        t_host = (
+            self.sim.measure_host(config.host_threads, config.host_affinity, host_mb)
+            if host_mb > 0
+            else 0.0
+        )
+        t_device = (
+            self.sim.measure_device(
+                config.device_threads, config.device_affinity, device_mb
+            )
+            if device_mb > 0
+            else 0.0
+        )
+        energy = Energy(t_host, t_device)
+        self._cache[key] = energy
+        self._evaluations += 1
+        return energy
+
+
+class MLEvaluator:
+    """Score configurations with the trained performance predictors.
+
+    ``host_model`` / ``device_model`` predict the execution time of one
+    *side* from ``(threads, affinity one-hot, megabytes)`` — the features
+    of Fig. 4 — after the standardization fitted on the training data.
+    A zero-share side costs exactly 0 (the runtime skips it), mirroring
+    the measurement path.
+    """
+
+    def __init__(
+        self,
+        host_model: Regressor,
+        device_model: Regressor,
+        *,
+        host_scaler: Standardizer | None = None,
+        device_scaler: Standardizer | None = None,
+    ) -> None:
+        self.host_model = host_model
+        self.device_model = device_model
+        self.host_scaler = host_scaler
+        self.device_scaler = device_scaler
+        self._evaluations = 0
+        # SA revisits configurations; predictions are deterministic, so
+        # per-side memoization saves most of the ensemble traversals.
+        self._side_cache: dict[tuple, float] = {}
+
+    @property
+    def evaluations(self) -> int:
+        """Number of predictions made (not experiments — predictions are free)."""
+        return self._evaluations
+
+    def _predict(
+        self,
+        model: Regressor,
+        scaler: Standardizer | None,
+        row: list[float],
+    ) -> float:
+        key = (id(model), tuple(row))
+        hit = self._side_cache.get(key)
+        if hit is not None:
+            return hit
+        if scaler is not None:
+            x = scaler.transform(np.array([row]))[0]
+        else:
+            x = row
+        predict_one = getattr(model, "predict_one", None)
+        if predict_one is not None and scaler is None:
+            raw = predict_one(row)
+        else:
+            raw = float(model.predict(np.atleast_2d(np.asarray(x, dtype=np.float64)))[0])
+        # Trees can extrapolate to slightly negative residual sums; a
+        # predicted time below zero is physically meaningless.
+        value = float(max(raw, 1e-6))
+        self._side_cache[key] = value
+        return value
+
+    def evaluate(self, config: SystemConfiguration, size_mb: float) -> Energy:
+        """Predict E' = max(predicted T_host, predicted T_device)."""
+        self._evaluations += 1
+        host_mb = size_mb * config.host_fraction / 100.0
+        device_mb = size_mb - host_mb
+        t_host = (
+            self._predict(
+                self.host_model,
+                self.host_scaler,
+                encode_host_row(config.host_threads, config.host_affinity, host_mb),
+            )
+            if host_mb > 0
+            else 0.0
+        )
+        t_device = (
+            self._predict(
+                self.device_model,
+                self.device_scaler,
+                encode_device_row(
+                    config.device_threads, config.device_affinity, device_mb
+                ),
+            )
+            if device_mb > 0
+            else 0.0
+        )
+        return Energy(t_host, t_device)
+
+
+def make_objective(
+    evaluator, size_mb: float
+) -> Callable[[SystemConfiguration], float]:
+    """Adapt an evaluator to the plain ``config -> float`` objective used
+    by the baseline metaheuristics in :mod:`repro.search`."""
+
+    def objective(config: SystemConfiguration) -> float:
+        return evaluator.evaluate(config, size_mb).value
+
+    return objective

@@ -1,0 +1,252 @@
+"""System-configuration parameter space (Table I).
+
+A *system configuration* is the tuple the optimizer searches over:
+
+``(host threads, host affinity, device threads, device affinity,
+   host workload fraction)``
+
+with the device fraction implied as ``100 - host fraction``.
+
+Two thread-count grids appear in the paper: Table I lists host threads
+``{2, 4, 6, 12, 24, 36, 48}`` while the evaluation (section IV-A) uses
+``{2, 6, 12, 24, 36, 48}``; only the latter is consistent with the
+reported space size (19 926 = 6x3 x 9x3 x 41 fractions) and the 2880
+host training experiments, so the default space uses it.  Table I's
+7-value grid is available as :data:`TABLE1_HOST_THREADS`.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, replace
+from typing import Iterator, Sequence
+
+import numpy as np
+
+from ..machines.affinity import DEVICE_AFFINITIES, HOST_AFFINITIES
+
+#: Host thread counts used throughout the evaluation (section IV-A).
+EVAL_HOST_THREADS: tuple[int, ...] = (2, 6, 12, 24, 36, 48)
+#: Host thread counts as printed in Table I (includes 4).
+TABLE1_HOST_THREADS: tuple[int, ...] = (2, 4, 6, 12, 24, 36, 48)
+#: Device thread counts (Table I and section IV-A agree).
+DEVICE_THREADS: tuple[int, ...] = (2, 4, 8, 16, 30, 60, 120, 180, 240)
+
+#: Workload-fraction grid: 0..100 percent in steps of 2.5 (41 values).
+#: 41 x 6 x 3 x 9 x 3 = 19 926, the paper's enumeration count; the same
+#: grid minus the 0% endpoint x 40 values yields the 2880/4320 training
+#: experiment counts of section IV-B.
+FRACTION_STEP = 2.5
+FRACTIONS: tuple[float, ...] = tuple(
+    float(x) for x in np.arange(0.0, 100.0 + FRACTION_STEP / 2, FRACTION_STEP)
+)
+
+
+@dataclass(frozen=True)
+class SystemConfiguration:
+    """One point of the search space."""
+
+    host_threads: int
+    host_affinity: str
+    device_threads: int
+    device_affinity: str
+    host_fraction: float  # percent of work on the host, 0..100
+
+    def __post_init__(self) -> None:
+        if self.host_threads <= 0:
+            raise ValueError(f"host_threads must be positive, got {self.host_threads}")
+        if self.device_threads <= 0:
+            raise ValueError(
+                f"device_threads must be positive, got {self.device_threads}"
+            )
+        if self.host_affinity not in HOST_AFFINITIES:
+            raise ValueError(
+                f"unknown host affinity {self.host_affinity!r}; "
+                f"expected one of {HOST_AFFINITIES}"
+            )
+        if self.device_affinity not in DEVICE_AFFINITIES:
+            raise ValueError(
+                f"unknown device affinity {self.device_affinity!r}; "
+                f"expected one of {DEVICE_AFFINITIES}"
+            )
+        if not 0.0 <= self.host_fraction <= 100.0:
+            raise ValueError(
+                f"host_fraction must be in [0, 100], got {self.host_fraction}"
+            )
+
+    @property
+    def device_fraction(self) -> float:
+        """Percent of work offloaded (Table I: ``100 - host fraction``)."""
+        return 100.0 - self.host_fraction
+
+    def with_fraction(self, host_fraction: float) -> "SystemConfiguration":
+        """Copy with a different workload split."""
+        return replace(self, host_fraction=float(host_fraction))
+
+    def describe(self) -> str:
+        """Short human-readable form, e.g. ``48xscatter | 240xbalanced | 60/40``."""
+        return (
+            f"{self.host_threads}x{self.host_affinity} | "
+            f"{self.device_threads}x{self.device_affinity} | "
+            f"{self.host_fraction:g}/{self.device_fraction:g}"
+        )
+
+
+#: Reference configurations used as baselines throughout the evaluation.
+def host_only_config(threads: int = 48, affinity: str = "scatter") -> SystemConfiguration:
+    """All work on the host (paper's CPU-only baseline uses 48 threads)."""
+    return SystemConfiguration(threads, affinity, DEVICE_THREADS[-1], "balanced", 100.0)
+
+
+def device_only_config(
+    threads: int = 240, affinity: str = "balanced"
+) -> SystemConfiguration:
+    """All work on the device (paper's accelerator-only baseline, 240 threads)."""
+    return SystemConfiguration(EVAL_HOST_THREADS[-1], "scatter", threads, affinity, 0.0)
+
+
+class ParameterSpace:
+    """The discrete configuration space and its neighborhood structure.
+
+    ``size()`` implements Eq. 1 (product of per-parameter range sizes).
+    ``neighbor()`` is the simulated-annealing move: pick one parameter
+    uniformly and step it to an adjacent grid value (fractions may jump
+    up to ``max_fraction_steps`` grid cells, giving the annealer long-
+    range moves along the most sensitive axis).
+    """
+
+    def __init__(
+        self,
+        host_threads: Sequence[int] = EVAL_HOST_THREADS,
+        host_affinities: Sequence[str] = HOST_AFFINITIES,
+        device_threads: Sequence[int] = DEVICE_THREADS,
+        device_affinities: Sequence[str] = DEVICE_AFFINITIES,
+        fractions: Sequence[float] = FRACTIONS,
+        *,
+        max_fraction_steps: int = 4,
+    ) -> None:
+        for name, values in (
+            ("host_threads", host_threads),
+            ("host_affinities", host_affinities),
+            ("device_threads", device_threads),
+            ("device_affinities", device_affinities),
+            ("fractions", fractions),
+        ):
+            if len(values) == 0:
+                raise ValueError(f"{name} must be non-empty")
+            if len(set(values)) != len(values):
+                raise ValueError(f"{name} contains duplicates")
+        self.host_threads = tuple(host_threads)
+        self.host_affinities = tuple(host_affinities)
+        self.device_threads = tuple(device_threads)
+        self.device_affinities = tuple(device_affinities)
+        self.fractions = tuple(float(f) for f in fractions)
+        if max_fraction_steps < 1:
+            raise ValueError(f"max_fraction_steps must be >= 1, got {max_fraction_steps}")
+        self.max_fraction_steps = max_fraction_steps
+
+    # -- size and enumeration (Eq. 1) ---------------------------------------
+
+    def size(self) -> int:
+        """Total number of system configurations (Eq. 1)."""
+        return (
+            len(self.host_threads)
+            * len(self.host_affinities)
+            * len(self.device_threads)
+            * len(self.device_affinities)
+            * len(self.fractions)
+        )
+
+    def __len__(self) -> int:
+        return self.size()
+
+    def __iter__(self) -> Iterator[SystemConfiguration]:
+        return self.iter_configs()
+
+    def iter_configs(self) -> Iterator[SystemConfiguration]:
+        """Enumerate every configuration (the EM/EML space walk)."""
+        for ht, ha, dt, da, f in itertools.product(
+            self.host_threads,
+            self.host_affinities,
+            self.device_threads,
+            self.device_affinities,
+            self.fractions,
+        ):
+            yield SystemConfiguration(ht, ha, dt, da, f)
+
+    def __contains__(self, config: SystemConfiguration) -> bool:
+        return (
+            config.host_threads in self.host_threads
+            and config.host_affinity in self.host_affinities
+            and config.device_threads in self.device_threads
+            and config.device_affinity in self.device_affinities
+            and config.host_fraction in self.fractions
+        )
+
+    # -- random sampling and SA neighborhood --------------------------------
+
+    def random_config(self, rng: np.random.Generator) -> SystemConfiguration:
+        """Uniform random configuration (the annealer's initial solution)."""
+        return SystemConfiguration(
+            host_threads=self.host_threads[rng.integers(len(self.host_threads))],
+            host_affinity=self.host_affinities[rng.integers(len(self.host_affinities))],
+            device_threads=self.device_threads[rng.integers(len(self.device_threads))],
+            device_affinity=self.device_affinities[
+                rng.integers(len(self.device_affinities))
+            ],
+            host_fraction=self.fractions[rng.integers(len(self.fractions))],
+        )
+
+    @staticmethod
+    def _step(values: tuple, current, rng: np.random.Generator, max_steps: int = 1):
+        i = values.index(current)
+        if len(values) == 1:
+            return current
+        step = int(rng.integers(1, max_steps + 1))
+        direction = 1 if rng.random() < 0.5 else -1
+        j = min(len(values) - 1, max(0, i + direction * step))
+        if j == i:  # bounced off the boundary; go the other way
+            j = min(len(values) - 1, max(0, i - direction * step))
+        return values[j]
+
+    def neighbor(
+        self, config: SystemConfiguration, rng: np.random.Generator
+    ) -> SystemConfiguration:
+        """One SA move: perturb a single uniformly chosen parameter."""
+        which = int(rng.integers(5))
+        if which == 0:
+            return replace(
+                config,
+                host_threads=self._step(self.host_threads, config.host_threads, rng),
+            )
+        if which == 1:
+            return replace(
+                config,
+                host_affinity=self._step(
+                    self.host_affinities, config.host_affinity, rng
+                ),
+            )
+        if which == 2:
+            return replace(
+                config,
+                device_threads=self._step(
+                    self.device_threads, config.device_threads, rng
+                ),
+            )
+        if which == 3:
+            return replace(
+                config,
+                device_affinity=self._step(
+                    self.device_affinities, config.device_affinity, rng
+                ),
+            )
+        return replace(
+            config,
+            host_fraction=self._step(
+                self.fractions, config.host_fraction, rng, self.max_fraction_steps
+            ),
+        )
+
+
+#: The evaluation space of the paper: |space| = 19 926.
+DEFAULT_SPACE = ParameterSpace()

@@ -1,0 +1,108 @@
+"""DNA sequence-analysis substrate: alphabet, genomes, motifs, automata,
+sequential/vectorized/chunk-parallel matchers (PaREM-style), and the
+end-to-end application used for evaluation (paper sections II-B, IV-A).
+"""
+
+from .alphabet import ALPHABET_SIZE, BASES, UNKNOWN_CODE, decode, encode, gc_content
+from .analysis import DNASequenceAnalysis, SplitScan
+from .automaton import (
+    DFA,
+    build_automaton,
+    rolling_window_codes,
+    window_state_table,
+    window_table_feasible,
+)
+from .matching import (
+    MatchResult,
+    WindowedScanner,
+    scan_naive_windows,
+    scan_sequential,
+    scan_windowed,
+)
+from .motifs import (
+    CPG_MOTIFS,
+    DEFAULT_MOTIFS,
+    PROMOTER_MOTIFS,
+    RESTRICTION_SITES,
+    MotifSet,
+    motif_set,
+)
+from .minimize import minimize_dfa
+from .regex import (
+    IUPAC_CODES,
+    CompiledRegex,
+    RegexSyntaxError,
+    compile_regex,
+    expand_iupac,
+    parse_regex,
+)
+from .parem import (
+    ChunkWork,
+    ParemEngine,
+    chunk_state_map,
+    compose_state_maps,
+    incoming_states,
+    parem_scan,
+    plan_chunks,
+)
+from .sequence import (
+    GENOME_ORDER,
+    GENOMES,
+    GenomeSpec,
+    fraction_bases,
+    generate_sequence,
+    genome_sample,
+    read_fasta,
+    read_fasta_string,
+    write_fasta,
+)
+
+__all__ = [
+    "minimize_dfa",
+    "IUPAC_CODES",
+    "CompiledRegex",
+    "RegexSyntaxError",
+    "compile_regex",
+    "expand_iupac",
+    "parse_regex",
+    "ALPHABET_SIZE",
+    "BASES",
+    "UNKNOWN_CODE",
+    "decode",
+    "encode",
+    "gc_content",
+    "DNASequenceAnalysis",
+    "SplitScan",
+    "DFA",
+    "build_automaton",
+    "rolling_window_codes",
+    "window_state_table",
+    "window_table_feasible",
+    "MatchResult",
+    "WindowedScanner",
+    "scan_naive_windows",
+    "scan_sequential",
+    "scan_windowed",
+    "CPG_MOTIFS",
+    "DEFAULT_MOTIFS",
+    "PROMOTER_MOTIFS",
+    "RESTRICTION_SITES",
+    "MotifSet",
+    "motif_set",
+    "ChunkWork",
+    "ParemEngine",
+    "chunk_state_map",
+    "compose_state_maps",
+    "incoming_states",
+    "parem_scan",
+    "plan_chunks",
+    "GENOME_ORDER",
+    "GENOMES",
+    "GenomeSpec",
+    "fraction_bases",
+    "generate_sequence",
+    "genome_sample",
+    "read_fasta",
+    "read_fasta_string",
+    "write_fasta",
+]

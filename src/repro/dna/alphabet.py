@@ -1,0 +1,68 @@
+"""Nucleotide alphabet and byte-level encoding.
+
+DNA sequences are long strings over ``{A, C, G, T}`` (paper section
+IV-A).  For fast scanning we map ASCII bytes to dense codes ``0..3``
+once, then every downstream kernel (DFA run, sliding-window compare)
+works on ``uint8`` code arrays.  Unknown bases (``N`` and friends, which
+real GenBank files contain) map to a dedicated code that never matches
+any motif and resets nothing — the automaton simply takes its failure
+path through them.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+#: Canonical base ordering; the code of ``BASES[i]`` is ``i``.
+BASES = "ACGT"
+
+#: Code assigned to any byte that is not a canonical base (e.g. 'N').
+UNKNOWN_CODE = 4
+
+#: Alphabet size seen by the automaton (A, C, G, T, unknown).
+ALPHABET_SIZE = 5
+
+_ENCODE_TABLE = np.full(256, UNKNOWN_CODE, dtype=np.uint8)
+for _i, _b in enumerate(BASES):
+    _ENCODE_TABLE[ord(_b)] = _i
+    _ENCODE_TABLE[ord(_b.lower())] = _i
+
+_DECODE_TABLE = np.frombuffer((BASES + "N").encode(), dtype=np.uint8)
+
+
+def encode(data: bytes | bytearray | str | np.ndarray) -> np.ndarray:
+    """Encode a sequence to a ``uint8`` code array (vectorized, zero-copy view
+    of the lookup where possible)."""
+    if isinstance(data, str):
+        data = data.encode("ascii")
+    if isinstance(data, np.ndarray):
+        if data.dtype != np.uint8:
+            raise TypeError(f"expected uint8 array, got {data.dtype}")
+        raw = data
+    else:
+        raw = np.frombuffer(bytes(data), dtype=np.uint8)
+    return _ENCODE_TABLE[raw]
+
+
+def decode(codes: np.ndarray) -> str:
+    """Inverse of :func:`encode`; unknown codes decode to ``'N'``."""
+    codes = np.asarray(codes)
+    if codes.size and codes.max(initial=0) > UNKNOWN_CODE:
+        raise ValueError("code array contains values outside the alphabet")
+    return _DECODE_TABLE[codes].tobytes().decode("ascii")
+
+
+def is_valid_motif(motif: str) -> bool:
+    """True if ``motif`` consists solely of canonical bases (case-insensitive)."""
+    return bool(motif) and all(c.upper() in BASES for c in motif)
+
+
+def gc_content(codes: np.ndarray) -> float:
+    """Fraction of G/C among canonical bases (0.0 for empty input)."""
+    codes = np.asarray(codes)
+    canonical = codes < len(BASES)
+    total = int(np.count_nonzero(canonical))
+    if total == 0:
+        return 0.0
+    gc = int(np.count_nonzero((codes == 1) | (codes == 2)))
+    return gc / total

@@ -1,0 +1,130 @@
+"""Hopcroft DFA minimization.
+
+Subset construction routinely produces equivalent states (e.g. several
+subsets that can never reach acceptance again).  Minimizing the DFA
+shrinks the transition table — which, through the cache model, directly
+buys scan throughput on the simulated platform — while provably
+preserving the language and therefore every match count.
+
+Works on any :class:`~repro.dna.automaton.DFA` whose ``match_count`` is
+0/1 per state (regex DFAs); Aho-Corasick automata carry per-state output
+*sets*, so they are partitioned by output signature instead, which keeps
+per-pattern counting intact.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+
+import numpy as np
+
+from .alphabet import ALPHABET_SIZE
+from .automaton import DFA
+
+
+def _initial_partition(dfa: DFA) -> dict[tuple, set[int]]:
+    """Group states by observable signature (their output set)."""
+    groups: dict[tuple, set[int]] = defaultdict(set)
+    for s in range(dfa.n_states):
+        groups[dfa.outputs[s]].add(s)
+    return groups
+
+
+def minimize_dfa(dfa: DFA) -> DFA:
+    """Return the minimal DFA equivalent to ``dfa``.
+
+    State 0 of the result corresponds to ``dfa``'s start state; states
+    are numbered by first visit in a BFS from it, so the result is
+    canonical for a given input automaton.
+    """
+    n = dfa.n_states
+    # --- Hopcroft refinement ------------------------------------------
+    partition: list[set[int]] = [g for g in _initial_partition(dfa).values() if g]
+    block_of = np.zeros(n, dtype=np.int64)
+    for b, group in enumerate(partition):
+        for s in group:
+            block_of[s] = b
+
+    # Precompute reverse transitions per symbol.
+    reverse: list[dict[int, list[int]]] = [
+        defaultdict(list) for _ in range(ALPHABET_SIZE)
+    ]
+    for s in range(n):
+        for c in range(ALPHABET_SIZE):
+            reverse[c][int(dfa.delta[s, c])].append(s)
+
+    worklist: set[tuple[int, int]] = {
+        (b, c) for b in range(len(partition)) for c in range(ALPHABET_SIZE)
+    }
+    while worklist:
+        b, c = worklist.pop()
+        splitter = partition[b]
+        # States with a c-transition into the splitter block.
+        incoming: set[int] = set()
+        for t in splitter:
+            incoming.update(reverse[c][t])
+        if not incoming:
+            continue
+        touched: dict[int, set[int]] = defaultdict(set)
+        for s in incoming:
+            touched[int(block_of[s])].add(s)
+        for block_idx, inside in touched.items():
+            block = partition[block_idx]
+            if len(inside) == len(block):
+                continue  # the whole block moves together: no split
+            remainder = block - inside
+            # Replace the block with the two halves.
+            partition[block_idx] = inside
+            new_idx = len(partition)
+            partition.append(remainder)
+            for s in remainder:
+                block_of[s] = new_idx
+            # Update the worklist (standard Hopcroft bookkeeping).
+            for sym in range(ALPHABET_SIZE):
+                if (block_idx, sym) in worklist:
+                    worklist.add((new_idx, sym))
+                else:
+                    smaller = (
+                        block_idx if len(inside) <= len(remainder) else new_idx
+                    )
+                    worklist.add((smaller, sym))
+
+    # --- rebuild, BFS-numbered from the start state ---------------------
+    start_block = int(block_of[0])
+    numbering: dict[int, int] = {start_block: 0}
+    order: list[int] = [start_block]
+    representative: dict[int, int] = {
+        int(block_of[s]): s for s in range(n - 1, -1, -1)
+    }
+    i = 0
+    while i < len(order):
+        block = order[i]
+        i += 1
+        rep = representative[block]
+        for c in range(ALPHABET_SIZE):
+            target = int(block_of[int(dfa.delta[rep, c])])
+            if target not in numbering:
+                numbering[target] = len(order)
+                order.append(target)
+
+    m = len(order)
+    delta = np.zeros((m, ALPHABET_SIZE), dtype=np.int32)
+    match_count = np.zeros(m, dtype=np.int64)
+    outputs: list[tuple[int, ...]] = [()] * m
+    depth = np.zeros(m, dtype=np.int32)
+    for block, new_id in numbering.items():
+        rep = representative[block]
+        match_count[new_id] = dfa.match_count[rep]
+        outputs[new_id] = dfa.outputs[rep]
+        depth[new_id] = dfa.depth[rep]
+        for c in range(ALPHABET_SIZE):
+            delta[new_id, c] = numbering[int(block_of[int(dfa.delta[rep, c])])]
+
+    return DFA(
+        delta=delta,
+        match_count=match_count,
+        outputs=tuple(outputs),
+        depth=depth,
+        patterns=dfa.patterns,
+        unbounded_context=dfa.unbounded_context,
+    )

@@ -1,0 +1,403 @@
+"""Regular-expression matching over DNA (the "REM" in PaREM).
+
+The paper's workload generator, PaREM [24], is a *parallel regular
+expression matching* tool; fixed motif sets are just its simplest case.
+This module provides the general substrate:
+
+* a recursive-descent parser for a DNA-flavoured regex dialect —
+  literals ``ACGT``, IUPAC ambiguity codes (``R`` = A|G, ``N`` = any
+  base, ...), ``.`` (any symbol), character classes ``[ACG]`` (with
+  ``^`` negation), grouping ``( )``, alternation ``|`` and the
+  quantifiers ``* + ?``;
+* Thompson construction to an epsilon-NFA;
+* subset construction to a dense DFA in the same
+  :class:`~repro.dna.automaton.DFA` format the matching engines consume.
+
+Counting semantics: the compiled automaton counts the *positions where
+at least one non-empty occurrence of the pattern ends* (the NFA is
+prefixed with an implicit ``.*``; the empty match of nullable patterns
+like ``(A)*`` is excluded).  For a fixed string this coincides with
+Aho-Corasick counting; for general patterns multiplicity at one end
+position is collapsed (a DFA cannot represent it).
+
+General regex DFAs lack the Aho-Corasick suffix property, so the
+compiled automaton sets ``unbounded_context=True``: the chunk-parallel
+engine automatically switches to all-states boundary maps (still exact)
+and the windowed scanner refuses it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from .alphabet import ALPHABET_SIZE, UNKNOWN_CODE, encode
+from .automaton import DFA
+
+#: IUPAC nucleotide ambiguity codes -> the bases they stand for.
+IUPAC_CODES: dict[str, str] = {
+    "A": "A", "C": "C", "G": "G", "T": "T",
+    "R": "AG", "Y": "CT", "S": "CG", "W": "AT",
+    "K": "GT", "M": "AC",
+    "B": "CGT", "D": "AGT", "H": "ACT", "V": "ACG",
+    "N": "ACGT",
+}
+
+
+class RegexSyntaxError(ValueError):
+    """Raised for malformed patterns, with the offending position."""
+
+    def __init__(self, pattern: str, pos: int, message: str) -> None:
+        super().__init__(f"{message} at position {pos} in {pattern!r}")
+        self.pattern = pattern
+        self.pos = pos
+
+
+# --- AST ---------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class Node:
+    """Base class of regex AST nodes."""
+
+
+@dataclass(frozen=True)
+class Symbol(Node):
+    """One input symbol drawn from a set of alphabet codes."""
+
+    codes: frozenset[int]
+
+
+@dataclass(frozen=True)
+class Concat(Node):
+    parts: tuple[Node, ...]
+
+
+@dataclass(frozen=True)
+class Alternate(Node):
+    options: tuple[Node, ...]
+
+
+@dataclass(frozen=True)
+class Repeat(Node):
+    """``child`` repeated: star (0+), plus (1+) or optional (0-1)."""
+
+    child: Node
+    kind: str  # "*", "+", "?"
+
+
+@dataclass(frozen=True)
+class Empty(Node):
+    """Matches the empty string (used for bare groups)."""
+
+
+def _codes_for_letter(ch: str) -> frozenset[int]:
+    bases = IUPAC_CODES.get(ch.upper())
+    if bases is None:
+        raise KeyError(ch)
+    return frozenset(int(encode(b)[0]) for b in bases)
+
+
+#: ``.`` matches any symbol, including the unknown/'N' input code.
+DOT_CODES = frozenset(range(ALPHABET_SIZE))
+
+
+class _Parser:
+    """Recursive-descent parser for the DNA regex dialect."""
+
+    def __init__(self, pattern: str) -> None:
+        self.pattern = pattern
+        self.pos = 0
+
+    def error(self, message: str) -> RegexSyntaxError:
+        return RegexSyntaxError(self.pattern, self.pos, message)
+
+    def peek(self) -> str | None:
+        if self.pos < len(self.pattern):
+            return self.pattern[self.pos]
+        return None
+
+    def take(self) -> str:
+        ch = self.peek()
+        if ch is None:
+            raise self.error("unexpected end of pattern")
+        self.pos += 1
+        return ch
+
+    def parse(self) -> Node:
+        if not self.pattern:
+            raise RegexSyntaxError(self.pattern, 0, "empty pattern")
+        node = self.alternation()
+        if self.pos != len(self.pattern):
+            raise self.error(f"unexpected {self.pattern[self.pos]!r}")
+        return node
+
+    def alternation(self) -> Node:
+        options = [self.concatenation()]
+        while self.peek() == "|":
+            self.take()
+            options.append(self.concatenation())
+        if len(options) == 1:
+            return options[0]
+        return Alternate(tuple(options))
+
+    def concatenation(self) -> Node:
+        parts: list[Node] = []
+        while True:
+            ch = self.peek()
+            if ch is None or ch in "|)":
+                break
+            parts.append(self.repetition())
+        if not parts:
+            # POSIX-style: empty branches ("A|", "()") are errors; use
+            # "?" for optionality instead.
+            raise self.error("empty branch")
+        if len(parts) == 1:
+            return parts[0]
+        return Concat(tuple(parts))
+
+    def repetition(self) -> Node:
+        node = self.atom()
+        while self.peek() in ("*", "+", "?"):
+            node = Repeat(node, self.take())
+        return node
+
+    def atom(self) -> Node:
+        ch = self.take()
+        if ch == "(":
+            node = self.alternation()
+            if self.peek() != ")":
+                raise self.error("unclosed group")
+            self.take()
+            return node
+        if ch == "[":
+            return self.char_class()
+        if ch == ".":
+            return Symbol(DOT_CODES)
+        if ch in ")|*+?]":
+            self.pos -= 1
+            raise self.error(f"unexpected {ch!r}")
+        try:
+            return Symbol(_codes_for_letter(ch))
+        except KeyError:
+            self.pos -= 1
+            raise self.error(f"unknown base {ch!r}") from None
+
+    def char_class(self) -> Node:
+        negate = False
+        if self.peek() == "^":
+            self.take()
+            negate = True
+        codes: set[int] = set()
+        saw = False
+        while True:
+            ch = self.peek()
+            if ch is None:
+                raise self.error("unclosed character class")
+            if ch == "]":
+                self.take()
+                break
+            self.take()
+            try:
+                codes |= _codes_for_letter(ch)
+            except KeyError:
+                self.pos -= 1
+                raise self.error(f"unknown base {ch!r} in class") from None
+            saw = True
+        if not saw:
+            raise self.error("empty character class")
+        if negate:
+            # Negation is over the four canonical bases; the unknown
+            # symbol never matches a negated class (it is not a base).
+            codes = set(range(4)) - codes
+            if not codes:
+                raise self.error("negated class matches nothing")
+        return Symbol(frozenset(codes))
+
+
+def parse_regex(pattern: str) -> Node:
+    """Parse a pattern into its AST (raises :class:`RegexSyntaxError`)."""
+    return _Parser(pattern).parse()
+
+
+# --- Thompson NFA -------------------------------------------------------
+
+
+@dataclass
+class NFA:
+    """Epsilon-NFA: per-state symbol edges and epsilon edges."""
+
+    edges: list[list[tuple[frozenset[int], int]]] = field(default_factory=list)
+    epsilon: list[list[int]] = field(default_factory=list)
+
+    def new_state(self) -> int:
+        self.edges.append([])
+        self.epsilon.append([])
+        return len(self.edges) - 1
+
+    @property
+    def n_states(self) -> int:
+        return len(self.edges)
+
+
+def _build(nfa: NFA, node: Node) -> tuple[int, int]:
+    """Thompson construction: returns (start, accept) for a fragment."""
+    if isinstance(node, Symbol):
+        s, a = nfa.new_state(), nfa.new_state()
+        nfa.edges[s].append((node.codes, a))
+        return s, a
+    if isinstance(node, Empty):
+        s = nfa.new_state()
+        return s, s
+    if isinstance(node, Concat):
+        start, accept = _build(nfa, node.parts[0])
+        for part in node.parts[1:]:
+            s2, a2 = _build(nfa, part)
+            nfa.epsilon[accept].append(s2)
+            accept = a2
+        return start, accept
+    if isinstance(node, Alternate):
+        s, a = nfa.new_state(), nfa.new_state()
+        for option in node.options:
+            os, oa = _build(nfa, option)
+            nfa.epsilon[s].append(os)
+            nfa.epsilon[oa].append(a)
+        return s, a
+    if isinstance(node, Repeat):
+        cs, ca = _build(nfa, node.child)
+        s, a = nfa.new_state(), nfa.new_state()
+        nfa.epsilon[s].append(cs)
+        if node.kind in ("*", "?"):
+            nfa.epsilon[s].append(a)
+        nfa.epsilon[ca].append(a)
+        if node.kind in ("*", "+"):
+            nfa.epsilon[ca].append(cs)
+        return s, a
+    raise TypeError(f"unknown AST node {type(node).__name__}")
+
+
+def build_nfa(node: Node) -> tuple[NFA, int, int]:
+    """Compile an AST into an epsilon-NFA -> (nfa, start, accept)."""
+    nfa = NFA()
+    start, accept = _build(nfa, node)
+    return nfa, start, accept
+
+
+# --- subset construction -------------------------------------------------
+
+
+def _eps_closure(nfa: NFA, states: frozenset[int]) -> frozenset[int]:
+    stack = list(states)
+    seen = set(states)
+    while stack:
+        s = stack.pop()
+        for t in nfa.epsilon[s]:
+            if t not in seen:
+                seen.add(t)
+                stack.append(t)
+    return frozenset(seen)
+
+
+@dataclass(frozen=True)
+class CompiledRegex:
+    """A pattern compiled to a scan-ready DFA.
+
+    ``dfa.match_count[s]`` is 1 when some occurrence of the pattern ends
+    upon entering ``s``; the engines then count match-ending positions.
+    """
+
+    pattern: str
+    dfa: DFA
+
+    def count(self, codes: np.ndarray, *, start_state: int = 0) -> int:
+        """Number of positions where an occurrence ends (sequential scan)."""
+        from .matching import scan_sequential
+
+        return scan_sequential(self.dfa, codes, start_state=start_state).total
+
+    def count_parallel(self, codes: np.ndarray, n_chunks: int) -> int:
+        """Chunk-parallel count — exact, via all-states boundary maps."""
+        from .parem import parem_scan
+
+        return parem_scan(self.dfa, codes, n_chunks, vectorized=False).total
+
+
+def compile_regex(pattern: str, *, max_states: int = 100_000) -> CompiledRegex:
+    """Compile a DNA regex into a :class:`CompiledRegex`.
+
+    The automaton recognizes "some occurrence of ``pattern`` ends here"
+    (an implicit leading ``.*``), which is what streaming match counting
+    needs.  ``max_states`` guards against exponential subset blow-up.
+    """
+    ast = parse_regex(pattern)
+    nfa, start, accept = build_nfa(ast)
+    # Implicit ".*" prefix: the start state loops on every symbol.  The
+    # pattern is entered by *copying its first consuming transitions*
+    # onto the loop state rather than an epsilon edge — this excludes
+    # the empty match from counting (a nullable pattern like ``(A)*``
+    # would otherwise "end" at every position), so the engines count
+    # positions where a non-empty occurrence ends.
+    loop = nfa.new_state()
+    nfa.edges[loop].append((DOT_CODES, loop))
+    for s in _eps_closure(nfa, frozenset([start])):
+        for edge in nfa.edges[s]:
+            nfa.edges[loop].append(edge)
+
+    start_set = _eps_closure(nfa, frozenset([loop]))
+    index: dict[frozenset[int], int] = {start_set: 0}
+    order: list[frozenset[int]] = [start_set]
+    delta_rows: list[list[int]] = []
+    pending = [start_set]
+    while pending:
+        current = pending.pop(0)
+        row = []
+        for code in range(ALPHABET_SIZE):
+            targets: set[int] = set()
+            for s in current:
+                for codes, t in nfa.edges[s]:
+                    if code in codes:
+                        targets.add(t)
+            closure = _eps_closure(nfa, frozenset(targets))
+            nxt = index.get(closure)
+            if nxt is None:
+                nxt = len(order)
+                if nxt >= max_states:
+                    raise ValueError(
+                        f"subset construction exceeded {max_states} states "
+                        f"for pattern {pattern!r}"
+                    )
+                index[closure] = nxt
+                order.append(closure)
+                pending.append(closure)
+            row.append(nxt)
+        delta_rows.append(row)
+
+    n = len(order)
+    delta = np.array(delta_rows, dtype=np.int32)
+    accepting = np.array(
+        [1 if accept in subset else 0 for subset in order], dtype=np.int64
+    )
+    outputs = tuple((0,) if accepting[s] else () for s in range(n))
+    dfa = DFA(
+        delta=delta,
+        match_count=accepting,
+        outputs=outputs,
+        depth=np.zeros(n, dtype=np.int32),
+        patterns=(pattern,),
+        unbounded_context=True,
+    )
+    return CompiledRegex(pattern=pattern, dfa=dfa)
+
+
+def expand_iupac(pattern: str) -> str:
+    """Rewrite IUPAC ambiguity codes as explicit classes (for export to
+    other regex engines, e.g. Python's ``re`` in the test oracle)."""
+    out = []
+    for ch in pattern:
+        bases = IUPAC_CODES.get(ch.upper())
+        if bases is not None and len(bases) > 1:
+            out.append(f"[{bases}]")
+        else:
+            out.append(ch)
+    return "".join(out)

@@ -1,0 +1,59 @@
+"""Shared experiment context: one simulator + one trained model set.
+
+Every figure/table module needs the same expensive preliminaries (the
+7200-experiment training grid and the fitted predictors).  An
+:class:`ExperimentContext` builds them once and is passed around by the
+benchmarks, so regenerating all artifacts costs one training run.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from functools import lru_cache
+
+from ..core.evaluators import MLEvaluator
+from ..core.params import DEFAULT_SPACE, ParameterSpace
+from ..core.training import TrainedModels, generate_training_data, train_models
+from ..dna.sequence import GENOME_ORDER, GENOMES
+from ..machines.perfmodel import DNA_SCAN, WorkloadProfile
+from ..machines.simulator import PlatformSimulator
+from ..machines.spec import EMIL, PlatformSpec
+
+
+@dataclass
+class ExperimentContext:
+    """Bundle of the shared experiment state."""
+
+    sim: PlatformSimulator
+    models: TrainedModels
+    space: ParameterSpace
+    seed: int
+
+    @property
+    def genome_sizes_mb(self) -> dict[str, float]:
+        """Evaluation genome sizes, paper order (human, mouse, cat, dog)."""
+        return {name: GENOMES[name].size_mb for name in GENOME_ORDER}
+
+    def ml(self) -> MLEvaluator:
+        """A fresh ML evaluator over the trained models."""
+        return self.models.evaluator()
+
+
+def build_context(
+    *,
+    platform: PlatformSpec = EMIL,
+    workload: WorkloadProfile = DNA_SCAN,
+    space: ParameterSpace = DEFAULT_SPACE,
+    seed: int = 0,
+) -> ExperimentContext:
+    """Run the training grid and fit models (the expensive setup)."""
+    sim = PlatformSimulator(platform, workload, seed=seed)
+    data = generate_training_data(sim)
+    models = train_models(data, seed=seed)
+    return ExperimentContext(sim=sim, models=models, space=space, seed=seed)
+
+
+@lru_cache(maxsize=2)
+def default_context(seed: int = 0) -> ExperimentContext:
+    """Memoized default context shared by tests and benchmarks."""
+    return build_context(seed=seed)

@@ -1,0 +1,104 @@
+"""Figure 2: the motivational work-distribution sweeps.
+
+Three scenarios, each sweeping the host/device ratio over
+``CPU only, 90/10, ..., 10/90, Phi only`` and reporting execution times
+normalized into the paper's 1-10 range:
+
+* (a) 190 MB input, 48 CPU threads — CPU-only wins (offload overhead);
+* (b) 3250 MB, 48 CPU threads — a 70/30 or 60/40 split wins;
+* (c) 3250 MB, 4 CPU threads  — the co-processor should take ~70%.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..machines.simulator import PlatformSimulator
+
+#: The eleven sweep points of Fig. 2 (host percent; 100 = CPU only).
+RATIO_GRID: tuple[float, ...] = (100.0, 90.0, 80.0, 70.0, 60.0, 50.0, 40.0, 30.0, 20.0, 10.0, 0.0)
+
+RATIO_LABELS: tuple[str, ...] = (
+    "CPU only", "90/10", "80/20", "70/30", "60/40", "50/50",
+    "40/60", "30/70", "20/80", "10/90", "Phi only",
+)
+
+
+@dataclass(frozen=True)
+class Fig2Scenario:
+    """One subplot's parameters."""
+
+    name: str
+    size_mb: float
+    cpu_threads: int
+    device_threads: int = 240
+    host_affinity: str = "scatter"
+    device_affinity: str = "balanced"
+
+
+SCENARIOS: tuple[Fig2Scenario, ...] = (
+    Fig2Scenario("fig2a", 190.0, 48),
+    Fig2Scenario("fig2b", 3250.0, 48),
+    Fig2Scenario("fig2c", 3250.0, 4),
+)
+
+
+@dataclass(frozen=True)
+class Fig2Result:
+    """One subplot's series."""
+
+    scenario: Fig2Scenario
+    labels: tuple[str, ...]
+    seconds: tuple[float, ...]
+    normalized: tuple[float, ...]  # min-maxed into [1, 10] like the paper
+
+    @property
+    def best_label(self) -> str:
+        """The winning work distribution."""
+        return self.labels[int(np.argmin(self.seconds))]
+
+
+def normalize_1_10(values: np.ndarray) -> np.ndarray:
+    """Min-max normalization into the paper's 1-10 display range."""
+    values = np.asarray(values, dtype=np.float64)
+    lo, hi = values.min(), values.max()
+    if hi == lo:
+        return np.ones_like(values)
+    return 1.0 + 9.0 * (values - lo) / (hi - lo)
+
+
+def run_scenario(sim: PlatformSimulator, scenario: Fig2Scenario) -> Fig2Result:
+    """Sweep one scenario's ratio grid."""
+    seconds = []
+    for host_pct in RATIO_GRID:
+        host_mb = scenario.size_mb * host_pct / 100.0
+        device_mb = scenario.size_mb - host_mb
+        th = (
+            sim.measure_host(scenario.cpu_threads, scenario.host_affinity, host_mb)
+            if host_mb > 0
+            else 0.0
+        )
+        td = (
+            sim.measure_device(
+                scenario.device_threads, scenario.device_affinity, device_mb
+            )
+            if device_mb > 0
+            else 0.0
+        )
+        seconds.append(max(th, td))
+    arr = np.array(seconds)
+    return Fig2Result(
+        scenario=scenario,
+        labels=RATIO_LABELS,
+        seconds=tuple(float(s) for s in arr),
+        normalized=tuple(float(v) for v in normalize_1_10(arr)),
+    )
+
+
+def run_fig2(sim: PlatformSimulator | None = None) -> dict[str, Fig2Result]:
+    """All three motivational sweeps, keyed fig2a/fig2b/fig2c."""
+    if sim is None:
+        sim = PlatformSimulator()
+    return {s.name: run_scenario(sim, s) for s in SCENARIOS}

@@ -1,0 +1,59 @@
+"""Heterogeneous-platform substrate: specs, topology, affinity, perf model.
+
+This package replaces the paper's physical node (2x Intel Xeon E5-2695v2
++ Intel Xeon Phi 7120P, Table III) with a calibrated analytic model; see
+DESIGN.md for the substitution rationale and calibration targets.
+"""
+
+from .affinity import (
+    DEVICE_AFFINITIES,
+    HOST_AFFINITIES,
+    affinity_index,
+    place_device_threads,
+    place_host_threads,
+)
+from .interconnect import OffloadCost, offload_cost, transfer_time_s
+from .perfmodel import (
+    DNA_SCAN,
+    DevicePerformanceModel,
+    HostPerformanceModel,
+    WorkloadProfile,
+)
+from .simulator import Measurement, PlatformSimulator
+from .spec import EMIL, CPUSpec, PCIeSpec, PhiSpec, PlatformSpec
+from .topology import (
+    PlacementStats,
+    Slot,
+    device_slots,
+    host_slots,
+    placement_stats,
+    validate_placement,
+)
+
+__all__ = [
+    "DEVICE_AFFINITIES",
+    "HOST_AFFINITIES",
+    "affinity_index",
+    "place_device_threads",
+    "place_host_threads",
+    "OffloadCost",
+    "offload_cost",
+    "transfer_time_s",
+    "DNA_SCAN",
+    "DevicePerformanceModel",
+    "HostPerformanceModel",
+    "WorkloadProfile",
+    "Measurement",
+    "PlatformSimulator",
+    "EMIL",
+    "CPUSpec",
+    "PCIeSpec",
+    "PhiSpec",
+    "PlatformSpec",
+    "PlacementStats",
+    "Slot",
+    "device_slots",
+    "host_slots",
+    "placement_stats",
+    "validate_placement",
+]

@@ -1,0 +1,134 @@
+"""Thread-affinity policies (Table I of the paper).
+
+Host policies: ``none``, ``scatter``, ``compact``.
+Device policies: ``balanced``, ``scatter``, ``compact``.
+
+These mirror the Intel OpenMP ``KMP_AFFINITY`` semantics:
+
+* ``compact`` packs threads onto as few cores as possible, filling every
+  hardware thread of a core before moving to the next core.
+* ``scatter`` round-robins threads across cores (and across sockets on
+  the host) as widely as possible, returning for second hardware threads
+  only after every core has one.
+* ``balanced`` (device only) spreads threads across cores like scatter
+  but keeps *consecutively numbered* threads on the same core, which
+  matters for workloads where neighbours share data.
+* ``none`` (host only) leaves placement to the OS scheduler.  We model
+  it as a scatter-like spread; the performance model adds a small
+  migration penalty on top (see :mod:`repro.machines.perfmodel`).
+
+Each function returns a concrete list of :class:`~repro.machines.topology.Slot`
+so placements can be validated and summarized exactly.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from .spec import CPUSpec, PhiSpec, PlatformSpec
+from .topology import Slot
+
+#: Valid affinity names per side, in the order used for feature encoding.
+HOST_AFFINITIES: tuple[str, ...] = ("none", "scatter", "compact")
+DEVICE_AFFINITIES: tuple[str, ...] = ("balanced", "scatter", "compact")
+
+
+def _check(n_threads: int, capacity: int, side: str) -> None:
+    if n_threads <= 0:
+        raise ValueError(f"n_threads must be positive, got {n_threads}")
+    if n_threads > capacity:
+        raise ValueError(
+            f"{side} supports at most {capacity} hardware threads, got {n_threads}"
+        )
+
+
+def _compact(
+    n_threads: int, sockets: int, cores: int, threads_per_core: int
+) -> list[Slot]:
+    """Fill hwthreads of core 0, then core 1, ... socket by socket."""
+    slots: list[Slot] = []
+    for s in range(sockets):
+        for c in range(cores):
+            for t in range(threads_per_core):
+                if len(slots) == n_threads:
+                    return slots
+                slots.append(Slot(s, c, t))
+    return slots
+
+
+def _scatter(
+    n_threads: int, sockets: int, cores: int, threads_per_core: int
+) -> list[Slot]:
+    """Round-robin across sockets first, then cores, then hwthreads."""
+    slots: list[Slot] = []
+    for t in range(threads_per_core):
+        for c in range(cores):
+            for s in range(sockets):
+                if len(slots) == n_threads:
+                    return slots
+                slots.append(Slot(s, c, t))
+    return slots
+
+
+def _balanced(n_threads: int, cores: int, threads_per_core: int) -> list[Slot]:
+    """Spread across cores, keeping consecutive threads on the same core.
+
+    With ``n`` threads on ``C`` cores, the first ``n mod C`` cores get
+    ``ceil(n/C)`` threads and the rest ``floor(n/C)`` — matching Intel's
+    ``balanced`` definition.
+    """
+    used_cores = min(n_threads, cores)
+    base, extra = divmod(n_threads, used_cores)
+    slots: list[Slot] = []
+    for c in range(used_cores):
+        occupancy = base + (1 if c < extra else 0)
+        if occupancy > threads_per_core:
+            raise ValueError(
+                f"balanced placement of {n_threads} threads needs {occupancy} "
+                f"hwthreads on core {c}, only {threads_per_core} exist"
+            )
+        for t in range(occupancy):
+            slots.append(Slot(0, c, t))
+    return slots
+
+
+def place_host_threads(
+    n_threads: int, affinity: str, platform: PlatformSpec
+) -> list[Slot]:
+    """Place ``n_threads`` on the host according to ``affinity``."""
+    if affinity not in HOST_AFFINITIES:
+        raise ValueError(
+            f"unknown host affinity {affinity!r}; expected one of {HOST_AFFINITIES}"
+        )
+    cpu: CPUSpec = platform.cpu
+    _check(n_threads, platform.host_hardware_threads, "host")
+    if affinity == "compact":
+        return _compact(n_threads, platform.sockets, cpu.cores, cpu.threads_per_core)
+    # Both "scatter" and "none" spread widely; "none" gets its migration
+    # penalty in the performance model, not in the placement itself.
+    return _scatter(n_threads, platform.sockets, cpu.cores, cpu.threads_per_core)
+
+
+def place_device_threads(
+    n_threads: int, affinity: str, device: PhiSpec
+) -> list[Slot]:
+    """Place ``n_threads`` on the co-processor according to ``affinity``."""
+    if affinity not in DEVICE_AFFINITIES:
+        raise ValueError(
+            f"unknown device affinity {affinity!r}; expected one of {DEVICE_AFFINITIES}"
+        )
+    _check(n_threads, device.usable_hardware_threads, "device")
+    if affinity == "compact":
+        return _compact(n_threads, 1, device.usable_cores, device.threads_per_core)
+    if affinity == "scatter":
+        return _scatter(n_threads, 1, device.usable_cores, device.threads_per_core)
+    return _balanced(n_threads, device.usable_cores, device.threads_per_core)
+
+
+def affinity_index(affinity: str, side: str) -> int:
+    """Stable integer id of an affinity name, used for feature encoding."""
+    table: Sequence[str] = HOST_AFFINITIES if side == "host" else DEVICE_AFFINITIES
+    try:
+        return table.index(affinity)
+    except ValueError:
+        raise ValueError(f"unknown {side} affinity {affinity!r}") from None

@@ -1,0 +1,61 @@
+"""PCIe offload-transfer model.
+
+The offload programming model (paper section III) ships the device's
+share of the input over PCIe, launches the kernel, and retrieves the
+(small) result.  The paper overlaps offloaded work with host work; input
+transfer itself is also partially overlapped with device compute via
+double buffering, captured by ``overlap_factor``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .spec import PCIeSpec
+
+
+@dataclass(frozen=True)
+class OffloadCost:
+    """Breakdown of one offload region's non-compute cost (seconds)."""
+
+    launch_s: float
+    transfer_s: float
+    exposed_transfer_s: float
+
+    @property
+    def total_exposed_s(self) -> float:
+        """Launch plus the non-overlapped part of the transfer."""
+        return self.launch_s + self.exposed_transfer_s
+
+
+def transfer_time_s(mb: float, link: PCIeSpec) -> float:
+    """Raw wire time to move ``mb`` megabytes over the link."""
+    if mb < 0:
+        raise ValueError(f"mb must be >= 0, got {mb}")
+    return mb / (link.effective_bandwidth_gbs * 1024.0)
+
+
+def offload_cost(
+    mb: float,
+    link: PCIeSpec,
+    *,
+    overlap_factor: float = 0.6,
+    result_mb: float = 0.001,
+) -> OffloadCost:
+    """Cost of offloading ``mb`` megabytes of input.
+
+    ``overlap_factor`` is the fraction of input transfer hidden behind
+    device compute via double buffering (0 = fully exposed, 1 = fully
+    hidden).  The result (match counts) is tiny but transferred
+    synchronously at the end.
+    """
+    if not 0.0 <= overlap_factor <= 1.0:
+        raise ValueError(f"overlap_factor must be in [0, 1], got {overlap_factor}")
+    if mb == 0:
+        # Nothing offloaded: the runtime skips the offload region entirely.
+        return OffloadCost(0.0, 0.0, 0.0)
+    wire = transfer_time_s(mb, link) + transfer_time_s(result_mb, link)
+    exposed = transfer_time_s(mb, link) * (1.0 - overlap_factor) + transfer_time_s(
+        result_mb, link
+    )
+    return OffloadCost(launch_s=link.latency_s, transfer_s=wire, exposed_transfer_s=exposed)

@@ -1,0 +1,123 @@
+"""Noisy "measurement" front-end over the analytic performance model.
+
+:class:`PlatformSimulator` plays the role of the paper's physical
+experiments: every :meth:`measure_host` / :meth:`measure_device` call is
+one *experiment* and is counted, so optimization methods can report how
+much of the 19 926-experiment enumeration budget they consumed (paper
+section IV-C reports SAML needing ~5%).
+
+Noise is multiplicative log-normal, *deterministic per configuration*
+(hash-seeded): re-measuring the same configuration returns the same
+value, exactly like the paper's single-run-per-configuration protocol,
+while different configurations see independent perturbations.  The
+``none`` host affinity gets extra variance (OS placement jitter).
+"""
+
+from __future__ import annotations
+
+import zlib
+from dataclasses import dataclass
+
+import numpy as np
+
+from .perfmodel import (
+    DNA_SCAN,
+    DevicePerformanceModel,
+    HostPerformanceModel,
+    WorkloadProfile,
+)
+from .spec import EMIL, PlatformSpec
+
+#: Relative measurement noise (sigma of log-normal). The paper's
+#: prediction errors (5.2% host, 3.1% device) lower-bound how noisy the
+#: underlying measurements can be.
+HOST_NOISE_SIGMA = 0.020
+DEVICE_NOISE_SIGMA = 0.025
+NONE_AFFINITY_NOISE_SCALE = 1.6
+
+
+@dataclass(frozen=True)
+class Measurement:
+    """One timed experiment."""
+
+    side: str  # "host" or "device"
+    threads: int
+    affinity: str
+    mb: float
+    seconds: float
+
+
+class PlatformSimulator:
+    """Measurement substrate: configuration in, (noisy) seconds out."""
+
+    def __init__(
+        self,
+        platform: PlatformSpec = EMIL,
+        workload: WorkloadProfile = DNA_SCAN,
+        *,
+        noise: bool = True,
+        seed: int = 0,
+    ) -> None:
+        self.platform = platform
+        self.workload = workload
+        self.noise = noise
+        self.seed = seed
+        self.host_model = HostPerformanceModel(platform, workload)
+        self.device_model = DevicePerformanceModel(platform, workload)
+        self._experiments = 0
+        self._log: list[Measurement] = []
+
+    # -- experiment accounting ------------------------------------------
+
+    @property
+    def experiment_count(self) -> int:
+        """Number of measurements performed so far."""
+        return self._experiments
+
+    @property
+    def log(self) -> list[Measurement]:
+        """All measurements, in order."""
+        return list(self._log)
+
+    def reset_counter(self) -> None:
+        """Zero the experiment counter and log (new optimization run)."""
+        self._experiments = 0
+        self._log.clear()
+
+    # -- noise -----------------------------------------------------------
+
+    def _noise_factor(self, side: str, threads: int, affinity: str, mb: float) -> float:
+        if not self.noise:
+            return 1.0
+        sigma = HOST_NOISE_SIGMA if side == "host" else DEVICE_NOISE_SIGMA
+        if side == "host" and affinity == "none":
+            sigma *= NONE_AFFINITY_NOISE_SCALE
+        key = f"{self.seed}|{side}|{threads}|{affinity}|{mb:.6f}".encode()
+        rng = np.random.default_rng(zlib.crc32(key))
+        return float(np.exp(rng.normal(0.0, sigma)))
+
+    # -- measurements ------------------------------------------------------
+
+    def measure_host(self, threads: int, affinity: str, mb: float) -> float:
+        """Timed host experiment: scan ``mb`` MB with the given configuration."""
+        t = self.host_model.time(threads, affinity, mb)
+        t *= self._noise_factor("host", threads, affinity, mb)
+        self._experiments += 1
+        self._log.append(Measurement("host", threads, affinity, mb, t))
+        return t
+
+    def measure_device(self, threads: int, affinity: str, mb: float) -> float:
+        """Timed device experiment (offload region around ``mb`` MB)."""
+        t = self.device_model.time(threads, affinity, mb)
+        t *= self._noise_factor("device", threads, affinity, mb)
+        self._experiments += 1
+        self._log.append(Measurement("device", threads, affinity, mb, t))
+        return t
+
+    def true_host_time(self, threads: int, affinity: str, mb: float) -> float:
+        """Noiseless host time; not counted as an experiment (oracle access)."""
+        return self.host_model.time(threads, affinity, mb)
+
+    def true_device_time(self, threads: int, affinity: str, mb: float) -> float:
+        """Noiseless device time; not counted as an experiment (oracle access)."""
+        return self.device_model.time(threads, affinity, mb)

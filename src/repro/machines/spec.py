@@ -1,0 +1,169 @@
+"""Hardware specifications of the target heterogeneous platform.
+
+This module encodes Table III of the paper ("Emil: hardware architecture"):
+a host with two 12-core Intel Xeon E5-2695v2 CPUs and an Intel Xeon Phi
+7120P co-processor with 61 cores.  The specs drive the analytic
+performance model in :mod:`repro.machines.perfmodel` and the thread
+placement logic in :mod:`repro.machines.affinity`.
+
+The dataclasses are deliberately plain data: every derived quantity
+(total hardware threads, usable cores, aggregate bandwidth) is exposed as
+a property so tests can cross-check them against the paper's numbers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+
+
+@dataclass(frozen=True)
+class CPUSpec:
+    """One host CPU socket (Intel Xeon E5-2695v2 by default)."""
+
+    name: str = "Intel Xeon E5-2695v2"
+    cores: int = 12
+    threads_per_core: int = 2
+    base_freq_ghz: float = 2.4
+    turbo_freq_ghz: float = 3.2
+    l1_kb: int = 32
+    l2_kb: int = 256
+    l3_mb: float = 30.0
+    simd_bits: int = 256
+    mem_bandwidth_gbs: float = 59.7
+    memory_gb: float = 64.0
+
+    @property
+    def hardware_threads(self) -> int:
+        """Total hardware threads on this socket (24 for the E5-2695v2)."""
+        return self.cores * self.threads_per_core
+
+    def __post_init__(self) -> None:
+        if self.cores <= 0:
+            raise ValueError(f"cores must be positive, got {self.cores}")
+        if self.threads_per_core <= 0:
+            raise ValueError(
+                f"threads_per_core must be positive, got {self.threads_per_core}"
+            )
+        if self.base_freq_ghz <= 0 or self.turbo_freq_ghz < self.base_freq_ghz:
+            raise ValueError(
+                "frequencies must satisfy 0 < base <= turbo, got "
+                f"base={self.base_freq_ghz}, turbo={self.turbo_freq_ghz}"
+            )
+
+
+@dataclass(frozen=True)
+class PhiSpec:
+    """An Intel Xeon Phi co-processor (7120P by default).
+
+    One of the 61 cores is reserved for the lightweight Linux uOS the
+    card runs (paper section II-A); :attr:`usable_cores` reflects that.
+    """
+
+    name: str = "Intel Xeon Phi 7120P"
+    cores: int = 61
+    os_reserved_cores: int = 1
+    threads_per_core: int = 4
+    base_freq_ghz: float = 1.238
+    turbo_freq_ghz: float = 1.333
+    l1_kb: int = 32
+    l2_mb: float = 30.5
+    simd_bits: int = 512
+    mem_bandwidth_gbs: float = 352.0
+    memory_gb: float = 16.0
+
+    @property
+    def usable_cores(self) -> int:
+        """Cores available for application threads (60 on the 7120P)."""
+        return self.cores - self.os_reserved_cores
+
+    @property
+    def hardware_threads(self) -> int:
+        """Total hardware threads including the OS core (244 on the 7120P)."""
+        return self.cores * self.threads_per_core
+
+    @property
+    def usable_hardware_threads(self) -> int:
+        """Hardware threads available to applications (240 on the 7120P)."""
+        return self.usable_cores * self.threads_per_core
+
+    def __post_init__(self) -> None:
+        if not 0 <= self.os_reserved_cores < self.cores:
+            raise ValueError(
+                "os_reserved_cores must be in [0, cores), got "
+                f"{self.os_reserved_cores} of {self.cores}"
+            )
+        if self.threads_per_core <= 0:
+            raise ValueError(
+                f"threads_per_core must be positive, got {self.threads_per_core}"
+            )
+
+
+@dataclass(frozen=True)
+class PCIeSpec:
+    """Host-device interconnect (PCIe 2.0 x16 for the 7120P).
+
+    ``effective_bandwidth_gbs`` is the sustained transfer rate seen by an
+    offload runtime (well below the 8 GB/s theoretical peak), and
+    ``latency_s`` the fixed cost of launching one offload region
+    (driver + uOS round trip).
+    """
+
+    name: str = "PCIe 2.0 x16"
+    effective_bandwidth_gbs: float = 6.0
+    latency_s: float = 0.030
+
+    def __post_init__(self) -> None:
+        if self.effective_bandwidth_gbs <= 0:
+            raise ValueError("effective_bandwidth_gbs must be positive")
+        if self.latency_s < 0:
+            raise ValueError("latency_s must be non-negative")
+
+
+@dataclass(frozen=True)
+class PlatformSpec:
+    """A heterogeneous node: ``sockets`` x CPU + ``num_devices`` x Phi.
+
+    The paper's platform (host name *Emil*) has two sockets and one
+    co-processor; section II-A notes such platforms may carry one to
+    eight accelerators, which :mod:`repro.runtime.multidevice` exploits.
+    """
+
+    name: str = "Emil"
+    cpu: CPUSpec = field(default_factory=CPUSpec)
+    sockets: int = 2
+    device: PhiSpec = field(default_factory=PhiSpec)
+    num_devices: int = 1
+    interconnect: PCIeSpec = field(default_factory=PCIeSpec)
+
+    @property
+    def host_cores(self) -> int:
+        """Physical cores on the host (24 on Emil)."""
+        return self.cpu.cores * self.sockets
+
+    @property
+    def host_hardware_threads(self) -> int:
+        """Hardware threads on the host (48 on Emil)."""
+        return self.cpu.hardware_threads * self.sockets
+
+    @property
+    def host_mem_bandwidth_gbs(self) -> float:
+        """Aggregate host memory bandwidth across sockets."""
+        return self.cpu.mem_bandwidth_gbs * self.sockets
+
+    def with_devices(self, num_devices: int) -> "PlatformSpec":
+        """Return a copy of this platform with a different accelerator count."""
+        if not 1 <= num_devices <= 8:
+            raise ValueError(
+                f"num_devices must be in [1, 8] (paper section II-A), got {num_devices}"
+            )
+        return replace(self, num_devices=num_devices)
+
+    def __post_init__(self) -> None:
+        if self.sockets <= 0:
+            raise ValueError(f"sockets must be positive, got {self.sockets}")
+        if self.num_devices < 0:
+            raise ValueError(f"num_devices must be >= 0, got {self.num_devices}")
+
+
+#: The paper's experimentation platform (Table III).
+EMIL = PlatformSpec()

@@ -1,0 +1,126 @@
+"""Hardware-thread topology enumeration for host and device.
+
+A *slot* is one hardware thread, identified by ``(socket, core, hwthread)``
+on the host and ``(core, hwthread)`` on the device (the device has a
+single package).  :mod:`repro.machines.affinity` turns an abstract
+affinity policy plus a thread count into a concrete list of slots; the
+performance model then only looks at *placement statistics* (how many
+cores/sockets are touched, how many threads share a core), which is what
+actually determines throughput for a bandwidth-bound scan workload.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass
+from typing import Iterable, Sequence
+
+from .spec import CPUSpec, PhiSpec, PlatformSpec
+
+
+@dataclass(frozen=True, order=True)
+class Slot:
+    """One hardware thread.  ``socket`` is 0 for device slots."""
+
+    socket: int
+    core: int
+    hwthread: int
+
+
+def host_slots(platform: PlatformSpec) -> list[Slot]:
+    """Enumerate all host hardware threads in (socket, core, hwthread) order."""
+    cpu = platform.cpu
+    return [
+        Slot(s, c, t)
+        for s in range(platform.sockets)
+        for c in range(cpu.cores)
+        for t in range(cpu.threads_per_core)
+    ]
+
+
+def device_slots(device: PhiSpec) -> list[Slot]:
+    """Enumerate usable device hardware threads (OS-reserved cores excluded)."""
+    return [
+        Slot(0, c, t)
+        for c in range(device.usable_cores)
+        for t in range(device.threads_per_core)
+    ]
+
+
+@dataclass(frozen=True)
+class PlacementStats:
+    """Summary of a thread placement, consumed by the performance model.
+
+    Attributes
+    ----------
+    n_threads:
+        Number of software threads placed.
+    cores_used:
+        Distinct physical cores hosting at least one thread.
+    sockets_used:
+        Distinct sockets hosting at least one thread (1 for devices).
+    threads_per_core:
+        Histogram ``{occupancy: core count}``, e.g. ``{2: 12}`` means 12
+        cores each run two threads.
+    """
+
+    n_threads: int
+    cores_used: int
+    sockets_used: int
+    threads_per_core: tuple[tuple[int, int], ...]
+
+    @property
+    def occupancy_histogram(self) -> dict[int, int]:
+        """``threads_per_core`` as a plain dict."""
+        return dict(self.threads_per_core)
+
+    @property
+    def max_occupancy(self) -> int:
+        """Largest number of threads sharing one core."""
+        if not self.threads_per_core:
+            return 0
+        return max(k for k, _ in self.threads_per_core)
+
+
+def placement_stats(slots: Sequence[Slot]) -> PlacementStats:
+    """Compute :class:`PlacementStats` for a concrete placement."""
+    core_load: Counter[tuple[int, int]] = Counter()
+    sockets: set[int] = set()
+    for slot in slots:
+        core_load[(slot.socket, slot.core)] += 1
+        sockets.add(slot.socket)
+    occupancy: Counter[int] = Counter(core_load.values())
+    return PlacementStats(
+        n_threads=len(slots),
+        cores_used=len(core_load),
+        sockets_used=len(sockets),
+        threads_per_core=tuple(sorted(occupancy.items())),
+    )
+
+
+def validate_placement(
+    slots: Iterable[Slot], *, cpu: CPUSpec | None = None, device: PhiSpec | None = None
+) -> None:
+    """Check a placement is physically realizable (no slot reuse, in range).
+
+    Exactly one of ``cpu`` (with implicit 2+ sockets allowed) or ``device``
+    must be given.  Raises :class:`ValueError` on any violation.
+    """
+    if (cpu is None) == (device is None):
+        raise ValueError("pass exactly one of cpu= or device=")
+    seen: set[Slot] = set()
+    for slot in slots:
+        if slot in seen:
+            raise ValueError(f"slot {slot} assigned twice")
+        seen.add(slot)
+        if cpu is not None:
+            if not (0 <= slot.core < cpu.cores):
+                raise ValueError(f"core {slot.core} out of range for {cpu.name}")
+            if not (0 <= slot.hwthread < cpu.threads_per_core):
+                raise ValueError(f"hwthread {slot.hwthread} out of range")
+        else:
+            assert device is not None
+            if not (0 <= slot.core < device.usable_cores):
+                raise ValueError(f"core {slot.core} out of range for {device.name}")
+            if not (0 <= slot.hwthread < device.threads_per_core):
+                raise ValueError(f"hwthread {slot.hwthread} out of range")

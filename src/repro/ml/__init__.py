@@ -1,0 +1,70 @@
+"""Machine-learning substrate built from scratch: CART regression trees,
+least-squares gradient boosting (the paper's Boosted Decision Tree
+Regression), the linear/Poisson baselines it was selected over, feature
+encoding, error metrics (Eqs. 5-6) and the half/half validation protocol.
+"""
+
+from .boosting import BoostedDecisionTreeRegressor
+from .dataset import (
+    DEVICE_FEATURE_NAMES,
+    HOST_FEATURE_NAMES,
+    Dataset,
+    Standardizer,
+    build_dataset,
+    encode_device_row,
+    encode_host_row,
+)
+from .io import load_model, save_model
+from .linear import LinearRegression
+from .metrics import (
+    DEVICE_ERROR_BINS,
+    HOST_ERROR_BINS,
+    ErrorHistogram,
+    absolute_error,
+    error_histogram,
+    mean_absolute_error,
+    mean_percent_error,
+    mean_squared_error,
+    percent_error,
+    r2_score,
+)
+from .poisson import PoissonRegressor
+from .tree import RegressionTree
+from .validation import (
+    EvalResult,
+    cross_validate,
+    half_split,
+    kfold_indices,
+    train_and_evaluate,
+)
+
+__all__ = [
+    "BoostedDecisionTreeRegressor",
+    "DEVICE_FEATURE_NAMES",
+    "HOST_FEATURE_NAMES",
+    "Dataset",
+    "Standardizer",
+    "build_dataset",
+    "encode_device_row",
+    "encode_host_row",
+    "LinearRegression",
+    "load_model",
+    "save_model",
+    "DEVICE_ERROR_BINS",
+    "HOST_ERROR_BINS",
+    "ErrorHistogram",
+    "absolute_error",
+    "error_histogram",
+    "mean_absolute_error",
+    "mean_percent_error",
+    "mean_squared_error",
+    "percent_error",
+    "r2_score",
+    "PoissonRegressor",
+    "RegressionTree",
+    "EvalResult",
+    "cross_validate",
+    "half_split",
+    "kfold_indices",
+    "train_and_evaluate",
+]

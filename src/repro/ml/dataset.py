@@ -1,0 +1,113 @@
+"""Feature encoding and normalization for the performance predictor.
+
+Figure 4 of the paper: structured training data -> *Normalize Data* ->
+*Train Model* (Boosted Decision Tree Regression).  The features are the
+ones the paper names in section III-B: input size, available computing
+resources (thread count) and thread-allocation strategy, plus the
+workload fraction expressed through the *effective megabytes* the side
+actually processes.
+
+Affinity is one-hot encoded (it is categorical, not ordinal); trees
+could split on an integer code, but the linear/Poisson baselines cannot,
+and a shared encoding keeps the comparison fair.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..machines.affinity import DEVICE_AFFINITIES, HOST_AFFINITIES
+
+
+@dataclass
+class Dataset:
+    """A design matrix with aligned targets and column names."""
+
+    X: np.ndarray
+    y: np.ndarray
+    feature_names: tuple[str, ...]
+
+    def __post_init__(self) -> None:
+        self.X = np.asarray(self.X, dtype=np.float64)
+        self.y = np.asarray(self.y, dtype=np.float64)
+        if self.X.ndim != 2:
+            raise ValueError(f"X must be 2-D, got shape {self.X.shape}")
+        if len(self.y) != len(self.X):
+            raise ValueError(
+                f"X and y disagree on sample count: {len(self.X)} vs {len(self.y)}"
+            )
+        if len(self.feature_names) != self.X.shape[1]:
+            raise ValueError(
+                f"{self.X.shape[1]} columns but {len(self.feature_names)} names"
+            )
+
+    def __len__(self) -> int:
+        return len(self.X)
+
+    def subset(self, idx: np.ndarray) -> "Dataset":
+        """Row-subset view of the dataset."""
+        return Dataset(self.X[idx], self.y[idx], self.feature_names)
+
+
+class Standardizer:
+    """Z-score normalization fitted on training data only (Fig. 4).
+
+    Constant columns (e.g. a one-hot level absent from the training half)
+    get scale 1 so they pass through unchanged instead of dividing by 0.
+    """
+
+    def __init__(self) -> None:
+        self.mean_: np.ndarray | None = None
+        self.scale_: np.ndarray | None = None
+
+    def fit(self, X: np.ndarray) -> "Standardizer":
+        X = np.asarray(X, dtype=np.float64)
+        self.mean_ = X.mean(axis=0)
+        scale = X.std(axis=0)
+        scale[scale == 0.0] = 1.0
+        self.scale_ = scale
+        return self
+
+    def transform(self, X: np.ndarray) -> np.ndarray:
+        if self.mean_ is None or self.scale_ is None:
+            raise RuntimeError("Standardizer.transform called before fit")
+        return (np.asarray(X, dtype=np.float64) - self.mean_) / self.scale_
+
+    def fit_transform(self, X: np.ndarray) -> np.ndarray:
+        return self.fit(X).transform(X)
+
+
+def _one_hot(value: str, levels: tuple[str, ...]) -> list[float]:
+    if value not in levels:
+        raise ValueError(f"unknown level {value!r}; expected one of {levels}")
+    return [1.0 if value == lv else 0.0 for lv in levels]
+
+
+HOST_FEATURE_NAMES: tuple[str, ...] = (
+    "threads",
+    *(f"affinity_{a}" for a in HOST_AFFINITIES),
+    "mb",
+)
+
+DEVICE_FEATURE_NAMES: tuple[str, ...] = (
+    "threads",
+    *(f"affinity_{a}" for a in DEVICE_AFFINITIES),
+    "mb",
+)
+
+
+def encode_host_row(threads: int, affinity: str, mb: float) -> list[float]:
+    """Feature vector of one host-side configuration."""
+    return [float(threads), *_one_hot(affinity, HOST_AFFINITIES), float(mb)]
+
+
+def encode_device_row(threads: int, affinity: str, mb: float) -> list[float]:
+    """Feature vector of one device-side configuration."""
+    return [float(threads), *_one_hot(affinity, DEVICE_AFFINITIES), float(mb)]
+
+
+def build_dataset(rows: list[list[float]], y: list[float], names: tuple[str, ...]) -> Dataset:
+    """Assemble a :class:`Dataset` from encoded rows."""
+    return Dataset(np.array(rows, dtype=np.float64), np.array(y, dtype=np.float64), names)

@@ -1,0 +1,149 @@
+"""Model persistence: save/load trained predictors without pickle.
+
+The paper's workflow is train-once, predict-forever ("once the model is
+trained one can easily increase the number of iterations", section
+IV-C); persisting the fitted ensembles makes that workflow real across
+processes.  Everything serializes to a single ``.npz`` (flat arrays +
+a small JSON header), avoiding pickle's arbitrary-code-execution risk.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import numpy as np
+
+from .boosting import BoostedDecisionTreeRegressor
+from .linear import LinearRegression
+from .poisson import PoissonRegressor
+from .tree import RegressionTree
+
+_KIND_KEY = "__kind__"
+
+
+def _tree_arrays(tree: RegressionTree, prefix: str) -> dict[str, np.ndarray]:
+    if tree.feature is None:
+        raise ValueError("cannot save an unfitted tree")
+    return {
+        f"{prefix}feature": tree.feature,
+        f"{prefix}threshold": tree.threshold,
+        f"{prefix}left": tree.left,
+        f"{prefix}right": tree.right,
+        f"{prefix}value": tree.value,
+    }
+
+
+def _tree_from_arrays(data, prefix: str, **params) -> RegressionTree:
+    tree = RegressionTree(**params)
+    tree.feature = data[f"{prefix}feature"]
+    tree.threshold = data[f"{prefix}threshold"]
+    tree.left = data[f"{prefix}left"]
+    tree.right = data[f"{prefix}right"]
+    tree.value = data[f"{prefix}value"]
+    return tree
+
+
+def save_model(path: str | Path, model) -> None:
+    """Serialize a fitted regressor to ``path`` (``.npz``).
+
+    Supported: :class:`RegressionTree`, :class:`BoostedDecisionTreeRegressor`,
+    :class:`LinearRegression`, :class:`PoissonRegressor`.
+    """
+    arrays: dict[str, np.ndarray] = {}
+    if isinstance(model, BoostedDecisionTreeRegressor):
+        if model.base_prediction_ is None:
+            raise ValueError("cannot save an unfitted model")
+        header = {
+            _KIND_KEY: "bdtr",
+            "n_estimators": model.n_estimators,
+            "learning_rate": model.learning_rate,
+            "max_depth": model.max_depth,
+            "min_samples_leaf": model.min_samples_leaf,
+            "subsample": model.subsample,
+            "seed": model.seed,
+            "base_prediction": model.base_prediction_,
+            "n_trees": len(model.trees_),
+        }
+        for i, tree in enumerate(model.trees_):
+            arrays.update(_tree_arrays(tree, f"t{i}_"))
+    elif isinstance(model, RegressionTree):
+        header = {
+            _KIND_KEY: "tree",
+            "max_depth": model.max_depth,
+            "min_samples_split": model.min_samples_split,
+            "min_samples_leaf": model.min_samples_leaf,
+        }
+        arrays.update(_tree_arrays(model, "t_"))
+    elif isinstance(model, LinearRegression):
+        if model.coef_ is None:
+            raise ValueError("cannot save an unfitted model")
+        header = {_KIND_KEY: "linear", "alpha": model.alpha,
+                  "intercept": model.intercept_}
+        arrays["coef"] = model.coef_
+    elif isinstance(model, PoissonRegressor):
+        if model.coef_ is None:
+            raise ValueError("cannot save an unfitted model")
+        header = {
+            _KIND_KEY: "poisson",
+            "alpha": model.alpha,
+            "max_iter": model.max_iter,
+            "tol": model.tol,
+            "intercept": model.intercept_,
+        }
+        arrays["coef"] = model.coef_
+    else:
+        raise TypeError(f"unsupported model type {type(model).__name__}")
+
+    arrays["header"] = np.frombuffer(
+        json.dumps(header).encode("utf-8"), dtype=np.uint8
+    )
+    np.savez_compressed(path, **arrays)
+
+
+def load_model(path: str | Path):
+    """Inverse of :func:`save_model`; returns a fitted regressor."""
+    data = np.load(path)
+    header = json.loads(bytes(data["header"]).decode("utf-8"))
+    kind = header.pop(_KIND_KEY)
+    if kind == "bdtr":
+        model = BoostedDecisionTreeRegressor(
+            n_estimators=header["n_estimators"],
+            learning_rate=header["learning_rate"],
+            max_depth=header["max_depth"],
+            min_samples_leaf=header["min_samples_leaf"],
+            subsample=header["subsample"],
+            seed=header["seed"],
+        )
+        model.base_prediction_ = header["base_prediction"]
+        model.trees_ = [
+            _tree_from_arrays(
+                data,
+                f"t{i}_",
+                max_depth=header["max_depth"],
+                min_samples_leaf=header["min_samples_leaf"],
+            )
+            for i in range(header["n_trees"])
+        ]
+        return model
+    if kind == "tree":
+        return _tree_from_arrays(
+            data,
+            "t_",
+            max_depth=header["max_depth"],
+            min_samples_split=header["min_samples_split"],
+            min_samples_leaf=header["min_samples_leaf"],
+        )
+    if kind == "linear":
+        model = LinearRegression(alpha=header["alpha"])
+        model.coef_ = data["coef"]
+        model.intercept_ = header["intercept"]
+        return model
+    if kind == "poisson":
+        model = PoissonRegressor(
+            alpha=header["alpha"], max_iter=header["max_iter"], tol=header["tol"]
+        )
+        model.coef_ = data["coef"]
+        model.intercept_ = header["intercept"]
+        return model
+    raise ValueError(f"unknown model kind {kind!r} in {path}")

@@ -1,0 +1,56 @@
+"""Linear (ridge) regression — one of the paper's rejected baselines.
+
+Section III-B: "we have considered various supervised machine learning
+approaches, including Linear Regression, Poisson Regression, and the
+Boosted Decision Tree Regression".  We implement the baselines so the
+model-selection experiment can be reproduced (ablation bench).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+class LinearRegression:
+    """Ordinary least squares with optional L2 (ridge) regularization.
+
+    Solved via the normal equations with a Cholesky-friendly symmetric
+    system; the intercept is never regularized.
+    """
+
+    def __init__(self, alpha: float = 0.0) -> None:
+        if alpha < 0:
+            raise ValueError(f"alpha must be >= 0, got {alpha}")
+        self.alpha = alpha
+        self.coef_: np.ndarray | None = None
+        self.intercept_: float | None = None
+
+    def fit(self, X: np.ndarray, y: np.ndarray) -> "LinearRegression":
+        """Fit coefficients; returns self."""
+        X = np.asarray(X, dtype=np.float64)
+        y = np.asarray(y, dtype=np.float64)
+        if len(X) != len(y):
+            raise ValueError("X and y length mismatch")
+        if len(X) == 0:
+            raise ValueError("cannot fit on an empty dataset")
+        # Center so the intercept drops out of the regularized system.
+        x_mean = X.mean(axis=0)
+        y_mean = float(y.mean())
+        Xc = X - x_mean
+        yc = y - y_mean
+        d = X.shape[1]
+        gram = Xc.T @ Xc + self.alpha * np.eye(d)
+        try:
+            coef = np.linalg.solve(gram, Xc.T @ yc)
+        except np.linalg.LinAlgError:
+            coef, *_ = np.linalg.lstsq(Xc, yc, rcond=None)
+        self.coef_ = coef
+        self.intercept_ = y_mean - float(x_mean @ coef)
+        return self
+
+    def predict(self, X: np.ndarray) -> np.ndarray:
+        """Predict targets for a batch of rows."""
+        if self.coef_ is None or self.intercept_ is None:
+            raise RuntimeError("predict called before fit")
+        X = np.atleast_2d(np.asarray(X, dtype=np.float64))
+        return X @ self.coef_ + self.intercept_

@@ -1,0 +1,38 @@
+"""Work-distribution runtime: divisible partitioning, the overlapped
+offload execution model (Eq. 2), static/adaptive schedules, and the
+multi-accelerator extension.
+"""
+
+from .multidevice import (
+    DeviceAssignment,
+    MultiDeviceConfiguration,
+    MultiDeviceOutcome,
+    MultiDeviceRuntime,
+)
+from .offload import ExecutionOutcome, run_configuration
+from .partition import Partition, contiguous_spans, split_elements, split_shares
+from .qilin import LinearTimeModel, QilinPartitioner, fit_linear_time
+from .schedule import AdaptiveRebalancer, RebalanceStep, StaticSchedule
+from .taskfarm import TaskFarmResult, TaskFarmScheduler, TaskRecord
+
+__all__ = [
+    "LinearTimeModel",
+    "QilinPartitioner",
+    "fit_linear_time",
+    "DeviceAssignment",
+    "MultiDeviceConfiguration",
+    "MultiDeviceOutcome",
+    "MultiDeviceRuntime",
+    "ExecutionOutcome",
+    "run_configuration",
+    "Partition",
+    "contiguous_spans",
+    "split_elements",
+    "split_shares",
+    "AdaptiveRebalancer",
+    "RebalanceStep",
+    "StaticSchedule",
+    "TaskFarmResult",
+    "TaskFarmScheduler",
+    "TaskRecord",
+]

@@ -1,0 +1,179 @@
+"""Multi-accelerator extension: 1-8 co-processors per node.
+
+Paper section II-A: "Such platforms may consist of one or two CPUs on
+the host ... and one to eight accelerators".  The evaluation uses one
+Phi; this module generalizes the offload model so a configuration
+carries one (threads, affinity, share) triple per device and
+
+``E = max(T_host, T_dev_1, ..., T_dev_k)``
+
+with every device timed by its own performance model instance (devices
+may differ, e.g. mixed 7120P/5110P nodes).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..machines.perfmodel import DNA_SCAN, DevicePerformanceModel, WorkloadProfile
+from ..machines.simulator import PlatformSimulator
+from ..machines.spec import EMIL, PhiSpec, PlatformSpec
+
+
+@dataclass(frozen=True)
+class DeviceAssignment:
+    """Configuration of one accelerator: threads, affinity, percent share."""
+
+    threads: int
+    affinity: str
+    share: float  # percent of the total workload
+
+    def __post_init__(self) -> None:
+        if self.threads <= 0:
+            raise ValueError(f"threads must be positive, got {self.threads}")
+        if not 0.0 <= self.share <= 100.0:
+            raise ValueError(f"share must be in [0, 100], got {self.share}")
+
+
+@dataclass(frozen=True)
+class MultiDeviceConfiguration:
+    """Host configuration plus per-device assignments; shares sum to 100."""
+
+    host_threads: int
+    host_affinity: str
+    host_share: float
+    devices: tuple[DeviceAssignment, ...]
+
+    def __post_init__(self) -> None:
+        total = self.host_share + sum(d.share for d in self.devices)
+        if abs(total - 100.0) > 1e-9:
+            raise ValueError(f"shares must sum to 100, got {total}")
+        if not 0.0 <= self.host_share <= 100.0:
+            raise ValueError(f"host_share must be in [0, 100], got {self.host_share}")
+
+
+@dataclass(frozen=True)
+class MultiDeviceOutcome:
+    """Per-part times of one multi-device run."""
+
+    t_host: float
+    t_devices: tuple[float, ...]
+
+    @property
+    def total(self) -> float:
+        """Overall wall-clock (all parts overlap)."""
+        return max(self.t_host, *self.t_devices) if self.t_devices else self.t_host
+
+
+class MultiDeviceRuntime:
+    """Offload runtime over a platform with ``num_devices`` accelerators.
+
+    Reuses the host side of a :class:`PlatformSimulator` and builds one
+    device model per accelerator (identical cards share one model but
+    keep distinct noise streams via the device index in the seed).
+    """
+
+    def __init__(
+        self,
+        platform: PlatformSpec = EMIL,
+        workload: WorkloadProfile = DNA_SCAN,
+        *,
+        device_specs: tuple[PhiSpec, ...] | None = None,
+        noise: bool = True,
+        seed: int = 0,
+    ) -> None:
+        if device_specs is None:
+            device_specs = tuple(platform.device for _ in range(platform.num_devices))
+        if not device_specs:
+            raise ValueError("at least one device is required")
+        self.platform = platform
+        self.device_specs = device_specs
+        self._sims = [
+            PlatformSimulator(
+                platform.with_devices(max(1, platform.num_devices)),
+                workload,
+                noise=noise,
+                seed=seed + 1000 * i,
+            )
+            for i in range(len(device_specs))
+        ]
+        # Per-device models (device specs may differ from the platform default).
+        self._device_models = []
+        for i, spec in enumerate(device_specs):
+            p = PlatformSpec(
+                name=f"{platform.name}/dev{i}",
+                cpu=platform.cpu,
+                sockets=platform.sockets,
+                device=spec,
+                num_devices=1,
+                interconnect=platform.interconnect,
+            )
+            self._device_models.append(DevicePerformanceModel(p, workload))
+        self._host_sim = self._sims[0]
+
+    @property
+    def num_devices(self) -> int:
+        """Number of accelerators managed by this runtime."""
+        return len(self.device_specs)
+
+    def run(self, config: MultiDeviceConfiguration, size_mb: float) -> MultiDeviceOutcome:
+        """Execute one multi-device configuration (noisy measurement)."""
+        if len(config.devices) != self.num_devices:
+            raise ValueError(
+                f"configuration has {len(config.devices)} devices, "
+                f"runtime manages {self.num_devices}"
+            )
+        host_mb = size_mb * config.host_share / 100.0
+        t_host = (
+            self._host_sim.measure_host(config.host_threads, config.host_affinity, host_mb)
+            if host_mb > 0
+            else 0.0
+        )
+        t_devs = []
+        for i, (assign, sim) in enumerate(zip(config.devices, self._sims)):
+            dev_mb = size_mb * assign.share / 100.0
+            if dev_mb <= 0:
+                t_devs.append(0.0)
+                continue
+            # Route the measurement through sim i so each card has an
+            # independent noise stream and experiment counter.
+            sim.device_model = self._device_models[i]
+            t_devs.append(sim.measure_device(assign.threads, assign.affinity, dev_mb))
+        return MultiDeviceOutcome(t_host, tuple(t_devs))
+
+    def proportional_shares(
+        self,
+        host_threads: int,
+        host_affinity: str,
+        device_threads: int,
+        device_affinity: str,
+        size_mb: float,
+    ) -> MultiDeviceConfiguration:
+        """Heuristic initial configuration: shares proportional to each
+        part's standalone throughput on the full workload (a common
+        static heuristic, cf. CoreTsar's linear model)."""
+        host_t = self._host_sim.true_host_time(host_threads, host_affinity, size_mb)
+        rates = [size_mb / host_t if host_t > 0 else 0.0]
+        for model in self._device_models:
+            t = model.time(device_threads, device_affinity, size_mb)
+            rates.append(size_mb / t if t > 0 else 0.0)
+        total = sum(rates)
+        shares = [100.0 * r / total for r in rates]
+        # Largest-remainder style fixup to hit exactly 100.
+        shares[0] += 100.0 - sum(shares)
+        return MultiDeviceConfiguration(
+            host_threads=host_threads,
+            host_affinity=host_affinity,
+            host_share=shares[0],
+            devices=tuple(
+                DeviceAssignment(device_threads, device_affinity, s) for s in shares[1:]
+            ),
+        )
+
+
+__all__ = [
+    "DeviceAssignment",
+    "MultiDeviceConfiguration",
+    "MultiDeviceOutcome",
+    "MultiDeviceRuntime",
+]

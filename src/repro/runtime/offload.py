@@ -1,0 +1,86 @@
+"""The offload execution model: host and device parts overlap.
+
+Paper section III: "we use the offload programming model.  We overlap
+the parts offloaded to the co-processor with the ones that are running
+on the host CPUs", so the application's wall-clock time is
+
+``E = max(T_host, T_device)``                                  (Eq. 2)
+
+:class:`OffloadRun` evaluates one system configuration against a
+:class:`~repro.machines.simulator.PlatformSimulator` and records the
+per-side times; it is the bridge between the optimizer's abstract
+configurations and the measurement substrate.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING
+
+from ..machines.simulator import PlatformSimulator
+from .partition import Partition
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard for type checkers
+    from ..core.params import SystemConfiguration
+
+
+@dataclass(frozen=True)
+class ExecutionOutcome:
+    """Wall-clock outcome of running one configuration."""
+
+    t_host: float
+    t_device: float
+
+    @property
+    def total(self) -> float:
+        """Application execution time under host/device overlap (Eq. 2)."""
+        return max(self.t_host, self.t_device)
+
+    @property
+    def imbalance(self) -> float:
+        """|T_host - T_device| / total; 0 means perfectly balanced."""
+        if self.total == 0.0:
+            return 0.0
+        return abs(self.t_host - self.t_device) / self.total
+
+
+def run_configuration(
+    sim: PlatformSimulator,
+    config: "SystemConfiguration",
+    size_mb: float,
+    *,
+    noiseless: bool = False,
+) -> ExecutionOutcome:
+    """Execute (measure) one configuration on the simulator.
+
+    A zero-share side contributes zero seconds and is not launched at
+    all, exactly like a real offload runtime skipping an empty region.
+    ``noiseless=True`` uses oracle times (no experiment accounting) —
+    used for reporting "true" qualities, never by the optimizers.
+    """
+    part = Partition(size_mb, config.host_fraction)
+    if noiseless:
+        th = (
+            sim.true_host_time(config.host_threads, config.host_affinity, part.host_mb)
+            if part.host_mb > 0
+            else 0.0
+        )
+        td = (
+            sim.true_device_time(
+                config.device_threads, config.device_affinity, part.device_mb
+            )
+            if part.device_mb > 0
+            else 0.0
+        )
+        return ExecutionOutcome(th, td)
+    th = (
+        sim.measure_host(config.host_threads, config.host_affinity, part.host_mb)
+        if part.host_mb > 0
+        else 0.0
+    )
+    td = (
+        sim.measure_device(config.device_threads, config.device_affinity, part.device_mb)
+        if part.device_mb > 0
+        else 0.0
+    )
+    return ExecutionOutcome(th, td)

@@ -1,0 +1,96 @@
+"""Divisible-workload partitioning.
+
+The paper targets applications whose workload "division can be adjusted
+arbitrarily" (section III).  A partition is expressed in percent shares
+(matching Table I's workload-fraction parameter); helpers convert shares
+to exact megabyte or element splits such that no work is lost or
+duplicated.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class Partition:
+    """A two-way host/device split of a divisible workload."""
+
+    total_mb: float
+    host_fraction: float  # percent, 0..100
+
+    def __post_init__(self) -> None:
+        if self.total_mb < 0:
+            raise ValueError(f"total_mb must be >= 0, got {self.total_mb}")
+        if not 0.0 <= self.host_fraction <= 100.0:
+            raise ValueError(
+                f"host_fraction must be in [0, 100], got {self.host_fraction}"
+            )
+
+    @property
+    def device_fraction(self) -> float:
+        """Percent of work mapped to the device (Table I: 100 - host)."""
+        return 100.0 - self.host_fraction
+
+    @property
+    def host_mb(self) -> float:
+        """Megabytes processed by the host."""
+        return self.total_mb * self.host_fraction / 100.0
+
+    @property
+    def device_mb(self) -> float:
+        """Megabytes offloaded to the device (exact complement)."""
+        return self.total_mb - self.host_mb
+
+
+def split_elements(n: int, host_fraction: float) -> tuple[int, int]:
+    """Split ``n`` elements by percent share; the two parts sum to ``n``."""
+    if n < 0:
+        raise ValueError(f"n must be >= 0, got {n}")
+    if not 0.0 <= host_fraction <= 100.0:
+        raise ValueError(f"host_fraction must be in [0, 100], got {host_fraction}")
+    host = int(round(n * host_fraction / 100.0))
+    return host, n - host
+
+
+def split_shares(n: int, shares: list[float]) -> list[int]:
+    """Split ``n`` elements into ``len(shares)`` parts proportional to
+    ``shares`` (largest-remainder rounding; parts sum to ``n`` exactly).
+
+    Used by the multi-accelerator extension where the workload is divided
+    across the host and several devices at once.
+    """
+    if n < 0:
+        raise ValueError(f"n must be >= 0, got {n}")
+    if not shares:
+        raise ValueError("shares must be non-empty")
+    arr = np.asarray(shares, dtype=np.float64)
+    if (arr < 0).any():
+        raise ValueError("shares must be non-negative")
+    total = arr.sum()
+    if total == 0:
+        raise ValueError("at least one share must be positive")
+    exact = arr / total * n
+    floors = np.floor(exact).astype(np.int64)
+    remainder = int(n - floors.sum())
+    # Assign the leftover units to the largest fractional parts.
+    order = np.argsort(-(exact - floors), kind="stable")
+    result = floors.copy()
+    result[order[:remainder]] += 1
+    return [int(x) for x in result]
+
+
+def contiguous_spans(n: int, sizes: list[int]) -> list[tuple[int, int]]:
+    """Turn part sizes into contiguous [start, stop) spans over ``[0, n)``."""
+    if sum(sizes) != n:
+        raise ValueError(f"sizes sum to {sum(sizes)}, expected {n}")
+    spans = []
+    start = 0
+    for s in sizes:
+        if s < 0:
+            raise ValueError("sizes must be non-negative")
+        spans.append((start, start + s))
+        start += s
+    return spans

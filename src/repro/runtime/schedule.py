@@ -1,0 +1,107 @@
+"""Static and adaptive work-distribution schedules.
+
+The paper's approach produces a *static* schedule (one fraction chosen
+before the run).  Its future-work section (VI) names "adaptive
+workload-aware approaches"; :class:`AdaptiveRebalancer` implements the
+natural candidate: run a few timed rounds and move work toward the side
+that finishes early, proportionally to the observed per-side throughput.
+The ablation bench compares it against the SAML static schedule.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
+
+from ..machines.simulator import PlatformSimulator
+from .offload import ExecutionOutcome, run_configuration
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..core.params import SystemConfiguration
+
+
+@dataclass(frozen=True)
+class StaticSchedule:
+    """A fixed configuration applied to every run of a workload."""
+
+    config: "SystemConfiguration"
+
+    def execute(self, sim: PlatformSimulator, size_mb: float) -> ExecutionOutcome:
+        """Run the workload once under this schedule."""
+        return run_configuration(sim, self.config, size_mb)
+
+
+@dataclass
+class RebalanceStep:
+    """One adaptive round: the fraction tried and what it produced."""
+
+    host_fraction: float
+    outcome: ExecutionOutcome
+
+
+@dataclass
+class AdaptiveRebalancer:
+    """Throughput-proportional fraction adaptation.
+
+    After each round with host share ``f`` the implied per-side rates are
+    ``r_h = f / T_host`` and ``r_d = (100 - f) / T_device``; the balanced
+    share is ``f* = 100 * r_h / (r_h + r_d)``.  ``damping`` in (0, 1]
+    blends toward ``f*`` to avoid oscillation on noisy measurements.
+
+    Thread counts/affinities stay fixed: adaptation happens at run time
+    when respawning threads is not an option, which is exactly the gap
+    the paper leaves to future work.
+    """
+
+    rounds: int = 4
+    damping: float = 0.8
+    min_fraction: float = 0.0
+    max_fraction: float = 100.0
+    history: list[RebalanceStep] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        if self.rounds < 1:
+            raise ValueError(f"rounds must be >= 1, got {self.rounds}")
+        if not 0.0 < self.damping <= 1.0:
+            raise ValueError(f"damping must be in (0, 1], got {self.damping}")
+        if not 0.0 <= self.min_fraction < self.max_fraction <= 100.0:
+            raise ValueError("need 0 <= min_fraction < max_fraction <= 100")
+
+    def propose_next(self, f: float, outcome: ExecutionOutcome) -> float:
+        """Balanced-share update given one observed round."""
+        th, td = outcome.t_host, outcome.t_device
+        if th <= 0.0:  # all work on device; claw some back for the host
+            target = min(10.0, self.max_fraction)
+        elif td <= 0.0:  # all work on host
+            target = max(90.0, self.min_fraction)
+        else:
+            r_host = f / th
+            r_device = (100.0 - f) / td
+            target = 100.0 * r_host / (r_host + r_device)
+        new = f + self.damping * (target - f)
+        return float(min(self.max_fraction, max(self.min_fraction, new)))
+
+    def run(
+        self,
+        sim: PlatformSimulator,
+        config: "SystemConfiguration",
+        size_mb: float,
+    ) -> "SystemConfiguration":
+        """Adapt the fraction over ``rounds`` timed runs; returns the
+        configuration with the final fraction."""
+        self.history.clear()
+        current = config
+        f = config.host_fraction
+        for _ in range(self.rounds):
+            outcome = run_configuration(sim, current, size_mb)
+            self.history.append(RebalanceStep(f, outcome))
+            f = self.propose_next(f, outcome)
+            current = current.with_fraction(f)
+        return current
+
+    @property
+    def best_observed(self) -> RebalanceStep:
+        """The best round seen so far."""
+        if not self.history:
+            raise RuntimeError("run() has not been called")
+        return min(self.history, key=lambda s: s.outcome.total)

@@ -1,0 +1,22 @@
+"""Baseline metaheuristics (Press et al. catalogue, paper section III-A)
+for budget-fair ablation against the paper's simulated annealing choice.
+"""
+
+from .aco import AntColony
+from .base import BudgetedSearch, Objective, SearchResult
+from .genetic import GeneticAlgorithm, crossover
+from .hill_climbing import HillClimbing
+from .random_search import RandomSearch
+from .tabu import TabuSearch
+
+__all__ = [
+    "AntColony",
+    "BudgetedSearch",
+    "Objective",
+    "SearchResult",
+    "GeneticAlgorithm",
+    "crossover",
+    "HillClimbing",
+    "RandomSearch",
+    "TabuSearch",
+]

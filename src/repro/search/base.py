@@ -1,0 +1,99 @@
+"""Common interface for the baseline metaheuristics.
+
+The paper (section III-A) picks Simulated Annealing from the heuristics
+catalogued by Press et al. — Genetic Algorithms, Ant Colony, Simulated
+Annealing, Local Search, Tabu Search — for its behaviour on large
+discrete spaces with many local minima.  This package implements the
+alternatives so the choice can be ablated at equal evaluation budgets
+(``benchmarks/test_bench_ablation_search.py``).
+
+All searchers minimize a plain ``config -> float`` objective over a
+:class:`~repro.core.params.ParameterSpace` and stop after exactly
+``budget`` objective evaluations, making comparisons budget-fair.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass, field
+from typing import Callable
+
+import numpy as np
+
+from ..core.params import ParameterSpace, SystemConfiguration
+
+Objective = Callable[[SystemConfiguration], float]
+
+
+@dataclass
+class SearchResult:
+    """Outcome of one budgeted search."""
+
+    best_config: SystemConfiguration
+    best_value: float
+    evaluations: int
+    #: best-so-far objective after each evaluation (length == evaluations)
+    trace: list[float] = field(repr=False, default_factory=list)
+
+    def best_value_at(self, evaluation: int) -> float:
+        """Best value had the search stopped after ``evaluation`` scores."""
+        if not self.trace:
+            raise ValueError("search recorded no trace")
+        if evaluation < 1:
+            raise ValueError(f"evaluation must be >= 1, got {evaluation}")
+        return self.trace[min(evaluation, len(self.trace)) - 1]
+
+
+class BudgetedSearch(ABC):
+    """Base class handling budget accounting and best-so-far tracking."""
+
+    def __init__(self, space: ParameterSpace, *, seed: int = 0) -> None:
+        self.space = space
+        self.seed = seed
+
+    @abstractmethod
+    def run(self, objective: Objective, budget: int) -> SearchResult:
+        """Minimize ``objective`` using at most ``budget`` evaluations."""
+
+    def _make_tracker(
+        self, objective: Objective, budget: int
+    ) -> tuple[Callable[[SystemConfiguration], float], SearchResult]:
+        """Wrap the objective with budget + best tracking.
+
+        The wrapped objective raises :class:`BudgetExhausted` when the
+        budget is spent; searchers catch it to terminate cleanly.
+        """
+        result = SearchResult(
+            best_config=None,  # type: ignore[arg-type]
+            best_value=float("inf"),
+            evaluations=0,
+            trace=[],
+        )
+
+        def wrapped(config: SystemConfiguration) -> float:
+            if result.evaluations >= budget:
+                raise BudgetExhausted()
+            value = objective(config)
+            result.evaluations += 1
+            if value < result.best_value:
+                result.best_value = value
+                result.best_config = config
+            result.trace.append(result.best_value)
+            return value
+
+        return wrapped, result
+
+
+class BudgetExhausted(Exception):
+    """Raised by the tracked objective when the evaluation budget is spent."""
+
+
+def check_budget(budget: int) -> None:
+    """Validate a search budget."""
+    if budget < 1:
+        raise ValueError(f"budget must be >= 1, got {budget}")
+
+
+def rng_for(seed: int) -> np.random.Generator:
+    """Seeded generator (one per search run)."""
+    return np.random.default_rng(seed)

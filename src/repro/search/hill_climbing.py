@@ -1,0 +1,56 @@
+"""Local search (hill climbing) with random restarts.
+
+The "Local Search" entry of the paper's heuristic catalogue: accept
+only improving neighbors; restart from a random configuration when no
+progress is made for a while.  Strong on smooth landscapes, prone to
+the local minima the paper chose simulated annealing to escape.
+"""
+
+from __future__ import annotations
+
+from .base import (
+    BudgetedSearch,
+    BudgetExhausted,
+    Objective,
+    SearchResult,
+    check_budget,
+    rng_for,
+)
+
+
+class HillClimbing(BudgetedSearch):
+    """First-improvement hill climbing with stagnation-triggered restarts.
+
+    Parameters
+    ----------
+    patience:
+        Consecutive non-improving neighbor evaluations before a restart.
+    """
+
+    def __init__(self, space, *, seed: int = 0, patience: int = 30) -> None:
+        super().__init__(space, seed=seed)
+        if patience < 1:
+            raise ValueError(f"patience must be >= 1, got {patience}")
+        self.patience = patience
+
+    def run(self, objective: Objective, budget: int) -> SearchResult:
+        """Minimize with at most ``budget`` evaluations."""
+        check_budget(budget)
+        rng = rng_for(self.seed)
+        wrapped, result = self._make_tracker(objective, budget)
+        try:
+            while True:
+                current = self.space.random_config(rng)
+                current_value = wrapped(current)
+                stale = 0
+                while stale < self.patience:
+                    candidate = self.space.neighbor(current, rng)
+                    value = wrapped(candidate)
+                    if value < current_value:
+                        current, current_value = candidate, value
+                        stale = 0
+                    else:
+                        stale += 1
+        except BudgetExhausted:
+            pass
+        return result

@@ -1,0 +1,25 @@
+"""Uniform random search — the weakest sensible baseline.
+
+Any informed method must beat it at equal budget; the ablation bench
+checks that simulated annealing does.
+"""
+
+from __future__ import annotations
+
+from .base import BudgetedSearch, BudgetExhausted, Objective, SearchResult, check_budget, rng_for
+
+
+class RandomSearch(BudgetedSearch):
+    """Sample configurations uniformly at random."""
+
+    def run(self, objective: Objective, budget: int) -> SearchResult:
+        """Evaluate ``budget`` uniform random configurations."""
+        check_budget(budget)
+        rng = rng_for(self.seed)
+        wrapped, result = self._make_tracker(objective, budget)
+        try:
+            while True:
+                wrapped(self.space.random_config(rng))
+        except BudgetExhausted:
+            pass
+        return result

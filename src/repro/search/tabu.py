@@ -1,0 +1,95 @@
+"""Tabu search over the configuration space.
+
+Keeps a bounded FIFO memory of recently visited configurations and, at
+each step, moves to the best non-tabu configuration among a sampled
+neighborhood — classic Glover-style short-term memory, sized for the
+paper's 19 926-point space.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+
+from ..core.params import SystemConfiguration
+from .base import (
+    BudgetedSearch,
+    BudgetExhausted,
+    Objective,
+    SearchResult,
+    check_budget,
+    rng_for,
+)
+
+
+def _key(c: SystemConfiguration) -> tuple:
+    return (
+        c.host_threads,
+        c.host_affinity,
+        c.device_threads,
+        c.device_affinity,
+        c.host_fraction,
+    )
+
+
+class TabuSearch(BudgetedSearch):
+    """Best-of-neighborhood moves with a tabu list.
+
+    Parameters
+    ----------
+    tabu_size:
+        Capacity of the recently-visited memory.
+    neighborhood:
+        Neighbors sampled (and evaluated) per move.
+    """
+
+    def __init__(
+        self, space, *, seed: int = 0, tabu_size: int = 50, neighborhood: int = 8
+    ) -> None:
+        super().__init__(space, seed=seed)
+        if tabu_size < 1:
+            raise ValueError(f"tabu_size must be >= 1, got {tabu_size}")
+        if neighborhood < 1:
+            raise ValueError(f"neighborhood must be >= 1, got {neighborhood}")
+        self.tabu_size = tabu_size
+        self.neighborhood = neighborhood
+
+    def run(self, objective: Objective, budget: int) -> SearchResult:
+        """Minimize with at most ``budget`` evaluations."""
+        check_budget(budget)
+        rng = rng_for(self.seed)
+        wrapped, result = self._make_tracker(objective, budget)
+        tabu: deque[tuple] = deque(maxlen=self.tabu_size)
+        tabu_set: set[tuple] = set()
+
+        def remember(c: SystemConfiguration) -> None:
+            k = _key(c)
+            if k in tabu_set:
+                return
+            if len(tabu) == tabu.maxlen:
+                tabu_set.discard(tabu[0])
+            tabu.append(k)
+            tabu_set.add(k)
+
+        try:
+            current = self.space.random_config(rng)
+            wrapped(current)
+            remember(current)
+            while True:
+                best_candidate: SystemConfiguration | None = None
+                best_value = float("inf")
+                for _ in range(self.neighborhood):
+                    cand = self.space.neighbor(current, rng)
+                    if _key(cand) in tabu_set:
+                        continue
+                    value = wrapped(cand)
+                    if value < best_value:
+                        best_candidate, best_value = cand, value
+                if best_candidate is None:
+                    # Whole sampled neighborhood tabu: diversify.
+                    best_candidate = self.space.random_config(rng)
+                    wrapped(best_candidate)
+                current = best_candidate
+                remember(current)
+        except BudgetExhausted:
+            pass
+        return result

@@ -1,0 +1,143 @@
+"""Parameter space (Table I) and configuration validation."""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    DEFAULT_SPACE,
+    DEVICE_THREADS,
+    EVAL_HOST_THREADS,
+    FRACTIONS,
+    TABLE1_HOST_THREADS,
+    ParameterSpace,
+    SystemConfiguration,
+    device_only_config,
+    host_only_config,
+)
+
+
+class TestGrids:
+    def test_eval_host_threads_six_values(self):
+        assert EVAL_HOST_THREADS == (2, 6, 12, 24, 36, 48)
+
+    def test_table1_host_threads_includes_four(self):
+        assert 4 in TABLE1_HOST_THREADS
+        assert len(TABLE1_HOST_THREADS) == 7
+
+    def test_device_threads_nine_values(self):
+        assert DEVICE_THREADS == (2, 4, 8, 16, 30, 60, 120, 180, 240)
+
+    def test_fraction_grid_has_41_values(self):
+        assert len(FRACTIONS) == 41
+        assert FRACTIONS[0] == 0.0
+        assert FRACTIONS[-1] == 100.0
+
+    def test_space_size_is_papers_19926(self):
+        # E13 of the experiment index: Eq. 1 product.
+        assert DEFAULT_SPACE.size() == 19926
+        assert len(DEFAULT_SPACE) == 19926
+
+
+class TestSystemConfiguration:
+    def make(self, **kw):
+        base = dict(
+            host_threads=24,
+            host_affinity="scatter",
+            device_threads=120,
+            device_affinity="balanced",
+            host_fraction=60.0,
+        )
+        base.update(kw)
+        return SystemConfiguration(**base)
+
+    def test_device_fraction_is_complement(self):
+        assert self.make(host_fraction=62.5).device_fraction == 37.5
+
+    def test_with_fraction(self):
+        c = self.make().with_fraction(10.0)
+        assert c.host_fraction == 10.0
+        assert c.host_threads == 24
+
+    def test_describe(self):
+        assert self.make().describe() == "24xscatter | 120xbalanced | 60/40"
+
+    @pytest.mark.parametrize(
+        "kw",
+        [
+            {"host_threads": 0},
+            {"device_threads": -1},
+            {"host_affinity": "balanced"},
+            {"device_affinity": "none"},
+            {"host_fraction": 101.0},
+            {"host_fraction": -0.5},
+        ],
+    )
+    def test_validation(self, kw):
+        with pytest.raises(ValueError):
+            self.make(**kw)
+
+    def test_baseline_configs(self):
+        assert host_only_config().host_fraction == 100.0
+        assert host_only_config().host_threads == 48
+        assert device_only_config().host_fraction == 0.0
+        assert device_only_config().device_threads == 240
+
+
+class TestSpaceOperations:
+    def test_iteration_count_matches_size(self):
+        small = ParameterSpace(
+            host_threads=(2, 4),
+            device_threads=(8, 16),
+            fractions=(0.0, 50.0, 100.0),
+        )
+        assert len(list(small.iter_configs())) == small.size() == 2 * 3 * 2 * 3 * 3
+
+    def test_contains(self):
+        c = SystemConfiguration(24, "scatter", 120, "balanced", 60.0)
+        assert c in DEFAULT_SPACE
+        assert c.with_fraction(60.1) not in DEFAULT_SPACE
+
+    def test_random_config_stays_in_space(self):
+        rng = np.random.default_rng(0)
+        for _ in range(50):
+            assert DEFAULT_SPACE.random_config(rng) in DEFAULT_SPACE
+
+    def test_neighbor_changes_at_most_one_parameter(self):
+        rng = np.random.default_rng(1)
+        c = DEFAULT_SPACE.random_config(rng)
+        for _ in range(100):
+            n = DEFAULT_SPACE.neighbor(c, rng)
+            assert n in DEFAULT_SPACE
+            diffs = sum(
+                [
+                    n.host_threads != c.host_threads,
+                    n.host_affinity != c.host_affinity,
+                    n.device_threads != c.device_threads,
+                    n.device_affinity != c.device_affinity,
+                    n.host_fraction != c.host_fraction,
+                ]
+            )
+            assert diffs <= 1
+            c = n
+
+    def test_neighbor_fraction_moves_bounded(self):
+        rng = np.random.default_rng(2)
+        space = ParameterSpace(max_fraction_steps=2)
+        c = space.random_config(rng)
+        for _ in range(200):
+            n = space.neighbor(c, rng)
+            if n.host_fraction != c.host_fraction:
+                assert abs(n.host_fraction - c.host_fraction) <= 2 * 2.5 + 1e-9
+            c = n
+
+    def test_rejects_empty_axis(self):
+        with pytest.raises(ValueError, match="non-empty"):
+            ParameterSpace(host_threads=())
+
+    def test_rejects_duplicate_values(self):
+        with pytest.raises(ValueError, match="duplicates"):
+            ParameterSpace(host_threads=(2, 2))
+
+    def test_rejects_bad_fraction_steps(self):
+        with pytest.raises(ValueError, match="max_fraction_steps"):
+            ParameterSpace(max_fraction_steps=0)

@@ -1,0 +1,80 @@
+"""Training-data generation and model fitting (section III-B protocol)."""
+
+import numpy as np
+import pytest
+
+from repro.core.training import (
+    TRAINING_FRACTIONS,
+    generate_training_data,
+    train_models,
+)
+from repro.machines import PlatformSimulator
+from repro.ml import LinearRegression
+
+
+@pytest.fixture(scope="module")
+def small_data():
+    """A reduced grid (two sizes, 5%-step fractions) for fast fitting."""
+    sim = PlatformSimulator(seed=0)
+    return generate_training_data(
+        sim,
+        sizes_mb=(1000.0, 3170.0),
+        fractions=tuple(np.arange(5.0, 101.0, 5.0)),
+    )
+
+
+class TestGrid:
+    def test_paper_fraction_grid(self):
+        assert len(TRAINING_FRACTIONS) == 40
+        assert TRAINING_FRACTIONS[0] == 2.5
+        assert TRAINING_FRACTIONS[-1] == 100.0
+
+    def test_paper_experiment_counts(self):
+        """2880 host + 4320 device experiments (section IV-B)."""
+        sim = PlatformSimulator(seed=0)
+        data = generate_training_data(sim)
+        assert len(data.host) == 2880
+        assert len(data.device) == 4320
+        assert data.n_experiments == 7200
+        assert sim.experiment_count == 7200
+
+    def test_small_grid_counts(self, small_data):
+        assert len(small_data.host) == 6 * 3 * 20 * 2
+        assert len(small_data.device) == 9 * 3 * 20 * 2
+
+    def test_targets_positive(self, small_data):
+        assert (small_data.host.y > 0).all()
+        assert (small_data.device.y > 0).all()
+
+
+class TestTrainModels:
+    def test_half_split_sizes(self, small_data):
+        models = train_models(small_data)
+        assert models.host_eval.n_train == len(small_data.host) // 2
+        assert models.host_eval.n_test == len(small_data.host) - len(small_data.host) // 2
+
+    def test_bdtr_accuracy_band(self, small_data):
+        """Held-out error in the paper's single-digit band (Result 2)."""
+        models = train_models(small_data)
+        assert models.host_eval.mean_percent_error < 10.0
+        assert models.device_eval.mean_percent_error < 10.0
+
+    def test_custom_model_factory(self, small_data):
+        models = train_models(small_data, model_factory=LinearRegression)
+        assert isinstance(models.host_model, LinearRegression)
+
+    def test_evaluator_round_trip(self, small_data):
+        from repro.core.params import SystemConfiguration
+
+        models = train_models(small_data)
+        ml = models.evaluator()
+        e = ml.evaluate(
+            SystemConfiguration(48, "scatter", 240, "balanced", 60.0), 1000.0
+        )
+        assert e.t_host > 0 and e.t_device > 0
+
+    def test_predictions_correlate_with_measurements(self, small_data):
+        models = train_models(small_data)
+        ev = models.host_eval
+        corr = np.corrcoef(ev.measured, ev.predicted)[0, 1]
+        assert corr > 0.98

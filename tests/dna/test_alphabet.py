@@ -1,0 +1,75 @@
+"""Nucleotide encoding/decoding."""
+
+import numpy as np
+import pytest
+
+from repro.dna import ALPHABET_SIZE, BASES, UNKNOWN_CODE, decode, encode, gc_content
+from repro.dna.alphabet import is_valid_motif
+
+
+class TestEncode:
+    def test_canonical_bases(self):
+        assert encode("ACGT").tolist() == [0, 1, 2, 3]
+
+    def test_lowercase_accepted(self):
+        assert encode("acgt").tolist() == [0, 1, 2, 3]
+
+    def test_unknown_maps_to_unknown_code(self):
+        assert encode("NXN-").tolist() == [UNKNOWN_CODE] * 4
+
+    def test_bytes_input(self):
+        assert encode(b"GATTACA").tolist() == [2, 0, 3, 3, 0, 1, 0]
+
+    def test_uint8_array_passthrough(self):
+        raw = np.frombuffer(b"ACGT", dtype=np.uint8)
+        assert encode(raw).tolist() == [0, 1, 2, 3]
+
+    def test_wrong_dtype_rejected(self):
+        with pytest.raises(TypeError, match="uint8"):
+            encode(np.array([1.0, 2.0]))
+
+    def test_empty(self):
+        assert len(encode("")) == 0
+
+    def test_alphabet_size_covers_unknown(self):
+        assert ALPHABET_SIZE == len(BASES) + 1
+
+
+class TestDecode:
+    def test_round_trip(self):
+        s = "GATTACAACGTN"
+        assert decode(encode(s)) == s
+
+    def test_unknown_decodes_to_n(self):
+        assert decode(np.array([4], dtype=np.uint8)) == "N"
+
+    def test_out_of_range_code_rejected(self):
+        with pytest.raises(ValueError, match="outside"):
+            decode(np.array([7], dtype=np.uint8))
+
+
+class TestMotifValidation:
+    @pytest.mark.parametrize("motif", ["A", "ACGT", "tataaa"])
+    def test_valid(self, motif):
+        assert is_valid_motif(motif)
+
+    @pytest.mark.parametrize("motif", ["", "ACGN", "AC GT", "123"])
+    def test_invalid(self, motif):
+        assert not is_valid_motif(motif)
+
+
+class TestGCContent:
+    def test_all_gc(self):
+        assert gc_content(encode("GCGC")) == 1.0
+
+    def test_all_at(self):
+        assert gc_content(encode("ATAT")) == 0.0
+
+    def test_unknown_excluded_from_denominator(self):
+        assert gc_content(encode("GCNN")) == 1.0
+
+    def test_empty_is_zero(self):
+        assert gc_content(encode("")) == 0.0
+
+    def test_half(self):
+        assert gc_content(encode("ACGT")) == pytest.approx(0.5)

@@ -1,0 +1,74 @@
+"""End-to-end DNA analysis application."""
+
+import numpy as np
+import pytest
+
+from repro.dna import (
+    CPG_MOTIFS,
+    DNASequenceAnalysis,
+    encode,
+    generate_sequence,
+    motif_set,
+    scan_sequential,
+)
+
+
+@pytest.fixture(scope="module")
+def app():
+    return DNASequenceAnalysis()
+
+
+@pytest.fixture(scope="module")
+def codes():
+    return generate_sequence(30_000, seed=42)
+
+
+class TestAnalyze:
+    def test_single_worker(self, app, codes):
+        res = app.analyze(codes)
+        ref = scan_sequential(app.dfa, codes)
+        assert res.total == ref.total
+
+    def test_multi_worker_identical(self, app, codes):
+        assert app.analyze(codes, n_workers=4).total == app.analyze(codes).total
+
+    def test_rejects_zero_workers(self, app, codes):
+        with pytest.raises(ValueError):
+            app.analyze(codes, n_workers=0)
+
+
+class TestSplit:
+    @pytest.mark.parametrize("fraction", [0.0, 25.0, 50.0, 60.0, 97.5, 100.0])
+    def test_split_totals_match_whole(self, app, codes, fraction):
+        ref = scan_sequential(app.dfa, codes)
+        split = app.analyze_split(codes, fraction, host_workers=3, device_workers=5)
+        assert split.total == ref.total
+        assert np.array_equal(split.per_pattern, ref.per_pattern)
+
+    def test_motif_spanning_cut_exact(self):
+        motifs = motif_set("x", ["ACGTACGT"])
+        app = DNASequenceAnalysis(motifs)
+        codes = encode("ACGTACGT" * 6)
+        ref = scan_sequential(app.dfa, codes)
+        # 37.5% of 48 bases = 18: the cut lands mid-motif.
+        split = app.analyze_split(codes, 37.5)
+        assert split.total == ref.total
+
+    def test_host_fraction_recorded(self, app, codes):
+        assert app.analyze_split(codes, 40.0).host_fraction == 40.0
+
+    def test_cpg_overlapping_motifs(self):
+        app = DNASequenceAnalysis(CPG_MOTIFS)
+        codes = generate_sequence(5000, gc=0.6, seed=7)
+        ref = scan_sequential(app.dfa, codes)
+        split = app.analyze_split(codes, 50.0, host_workers=2, device_workers=2)
+        assert split.total == ref.total
+
+
+class TestWorkloadProfile:
+    def test_table_footprint_tracks_automaton(self, app):
+        profile = app.workload_profile()
+        assert profile.table_kb == pytest.approx(app.dfa.table_kb)
+
+    def test_profile_named_after_motifs(self, app):
+        assert "default" in app.workload_profile().name

@@ -1,0 +1,118 @@
+"""Aho-Corasick construction and the dense DFA's structural invariants."""
+
+import numpy as np
+import pytest
+
+from repro.dna import (
+    build_automaton,
+    encode,
+    motif_set,
+    rolling_window_codes,
+    scan_sequential,
+    window_state_table,
+    window_table_feasible,
+)
+from repro.dna.alphabet import ALPHABET_SIZE
+
+
+class TestConstruction:
+    def test_single_pattern_state_count(self):
+        # Trie of one length-4 pattern: root + 4 nodes.
+        dfa = build_automaton(motif_set("x", ["ACGT"]))
+        assert dfa.n_states == 5
+
+    def test_shared_prefixes_share_states(self):
+        dfa = build_automaton(motif_set("x", ["ACGT", "ACGA"]))
+        assert dfa.n_states == 6  # root + ACG + T + A
+
+    def test_empty_motif_set_rejected(self):
+        from repro.dna.motifs import MotifSet
+
+        with pytest.raises(ValueError, match="empty"):
+            build_automaton(MotifSet("empty"))
+
+    def test_depth_bounded_by_max_pattern(self):
+        dfa = build_automaton(motif_set("x", ["ACGTAC", "GG"]))
+        assert dfa.max_depth == 6
+        assert dfa.depth.max() == 6
+
+    def test_delta_shape_and_range(self):
+        dfa = build_automaton(motif_set("x", ["TATAAA", "CCAAT"]))
+        assert dfa.delta.shape == (dfa.n_states, ALPHABET_SIZE)
+        assert dfa.delta.min() >= 0
+        assert dfa.delta.max() < dfa.n_states
+
+    def test_unknown_symbol_leads_to_root_for_unknown_free_patterns(self):
+        dfa = build_automaton(motif_set("x", ["ACGT"]))
+        # No pattern contains N, so reading N from anywhere lands at root.
+        assert all(dfa.delta[s, 4] == 0 for s in range(dfa.n_states))
+
+    def test_outputs_accumulate_suffix_patterns(self):
+        # "GCGC" ending also completes "CGC" and "GC".
+        dfa = build_automaton(motif_set("x", ["GCGC", "CGC", "GC"]))
+        res = scan_sequential(dfa, encode("GCGC"))
+        # Occurrences: GC at 0-1 and 2-3, CGC at 1-3, GCGC at 0-3 -> 4.
+        assert res.total == 4
+
+    def test_match_count_matches_outputs(self):
+        dfa = build_automaton(motif_set("x", ["CG", "GCGC"]))
+        for s, outs in enumerate(dfa.outputs):
+            assert dfa.match_count[s] == len(outs)
+
+    def test_table_kb(self):
+        dfa = build_automaton(motif_set("x", ["ACGT"]))
+        assert dfa.table_kb == pytest.approx(dfa.delta.nbytes / 1024.0)
+
+    def test_step_matches_delta(self):
+        dfa = build_automaton(motif_set("x", ["AC"]))
+        assert dfa.step(0, 0) == dfa.delta[0, 0]
+
+
+class TestWindowTable:
+    def test_feasibility_guard(self):
+        small = build_automaton(motif_set("x", ["ACGT"]))
+        assert window_table_feasible(small)
+        huge = build_automaton(motif_set("x", ["ACGT" * 10]))  # 5^40 windows
+        assert not window_table_feasible(huge)
+
+    def test_table_matches_direct_runs(self):
+        dfa = build_automaton(motif_set("x", ["TATAAA", "CCAAT", "CG"]))
+        table = window_state_table(dfa)
+        k = dfa.max_depth
+        rng = np.random.default_rng(0)
+        for _ in range(50):
+            window = rng.integers(0, ALPHABET_SIZE, size=k)
+            state = 0
+            for c in window:
+                state = int(dfa.delta[state, c])
+            idx = 0
+            for c in window:
+                idx = idx * ALPHABET_SIZE + int(c)
+            assert table[idx] == state
+
+    def test_suffix_property_start_state_irrelevant(self):
+        # Reading >= max_depth symbols erases the starting context.
+        dfa = build_automaton(motif_set("x", ["GATTACA", "CCAAT"]))
+        rng = np.random.default_rng(1)
+        text = rng.integers(0, 4, size=dfa.max_depth).astype(np.uint8)
+        finals = set()
+        for start in range(dfa.n_states):
+            s = start
+            for c in text:
+                s = int(dfa.delta[s, c])
+            finals.add(s)
+        assert len(finals) == 1
+
+
+class TestRollingWindows:
+    def test_values_match_manual_encoding(self):
+        codes = encode("ACGTA")
+        out = rolling_window_codes(codes, 2)
+        # windows: AC, CG, GT, TA with base-5 big-endian encoding.
+        assert out.tolist() == [0 * 5 + 1, 1 * 5 + 2, 2 * 5 + 3, 3 * 5 + 0]
+
+    def test_length(self):
+        assert len(rolling_window_codes(encode("ACGTACGT"), 3)) == 6
+
+    def test_too_short_input(self):
+        assert len(rolling_window_codes(encode("AC"), 3)) == 0

@@ -1,0 +1,119 @@
+"""Property-based tests (hypothesis) for the DNA matching engines.
+
+The central invariant: every engine — sequential, windowed-vectorized,
+naive sliding-window, chunk-parallel PaREM at any chunking, and the
+host/device split — counts exactly the same matches on arbitrary inputs
+with arbitrary motif sets.
+"""
+
+import numpy as np
+from hypothesis import given, settings, strategies as st
+
+from repro.dna import (
+    DNASequenceAnalysis,
+    build_automaton,
+    chunk_state_map,
+    compose_state_maps,
+    encode,
+    motif_set,
+    parem_scan,
+    scan_naive_windows,
+    scan_sequential,
+    scan_windowed,
+)
+
+bases = st.sampled_from("ACGT")
+motif_strategy = st.text(alphabet=bases, min_size=1, max_size=7)
+motifs_strategy = st.lists(motif_strategy, min_size=1, max_size=5, unique_by=str.upper)
+# Sequences may include unknown bases ('N') to exercise the failure path.
+sequence_strategy = st.text(alphabet=st.sampled_from("ACGTN"), min_size=0, max_size=300)
+
+
+@settings(max_examples=60, deadline=None)
+@given(motifs=motifs_strategy, text=sequence_strategy)
+def test_all_engines_agree(motifs, text):
+    dfa = build_automaton(motif_set("h", motifs))
+    codes = encode(text)
+    ref = scan_sequential(dfa, codes)
+    win = scan_windowed(dfa, codes)
+    naive = scan_naive_windows(dfa, codes)
+    assert win.total == ref.total == naive.total
+    assert np.array_equal(win.per_pattern, ref.per_pattern)
+    assert np.array_equal(naive.per_pattern, ref.per_pattern)
+    assert win.end_state == ref.end_state
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    motifs=motifs_strategy,
+    text=sequence_strategy,
+    n_chunks=st.integers(min_value=1, max_value=12),
+)
+def test_parem_is_chunking_invariant(motifs, text, n_chunks):
+    dfa = build_automaton(motif_set("h", motifs))
+    codes = encode(text)
+    ref = scan_sequential(dfa, codes)
+    par = parem_scan(dfa, codes, n_chunks)
+    assert par.total == ref.total
+    assert np.array_equal(par.per_pattern, ref.per_pattern)
+    assert par.end_state == ref.end_state
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    motifs=motifs_strategy,
+    text=st.text(alphabet=st.sampled_from("ACGTN"), min_size=1, max_size=200),
+    fraction=st.floats(min_value=0.0, max_value=100.0),
+)
+def test_split_scan_is_fraction_invariant(motifs, text, fraction):
+    app = DNASequenceAnalysis(motif_set("h", motifs))
+    codes = encode(text)
+    ref = scan_sequential(app.dfa, codes)
+    split = app.analyze_split(codes, fraction)
+    assert split.total == ref.total
+    assert np.array_equal(split.per_pattern, ref.per_pattern)
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    motifs=motifs_strategy,
+    a=st.text(alphabet=bases, min_size=0, max_size=40),
+    b=st.text(alphabet=bases, min_size=0, max_size=40),
+)
+def test_state_map_composition_is_concatenation(motifs, a, b):
+    dfa = build_automaton(motif_set("h", motifs))
+    ca, cb = encode(a), encode(b)
+    combined = chunk_state_map(dfa, np.concatenate([ca, cb]))
+    composed = compose_state_maps(chunk_state_map(dfa, ca), chunk_state_map(dfa, cb))
+    assert np.array_equal(combined, composed)
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    motifs=motifs_strategy,
+    text=st.text(alphabet=bases, min_size=0, max_size=120),
+)
+def test_match_counts_bounded_by_positions(motifs, text):
+    ms = motif_set("h", motifs)
+    dfa = build_automaton(ms)
+    res = scan_sequential(dfa, encode(text))
+    # Each position ends at most len(patterns) matches.
+    assert 0 <= res.total <= len(text) * len(ms)
+    # Per-pattern count bounded by the number of possible end positions.
+    for pid, pattern in enumerate(dfa.patterns):
+        assert res.per_pattern[pid] <= max(0, len(text) - len(pattern) + 1)
+
+
+@settings(max_examples=40, deadline=None)
+@given(text=st.text(alphabet=bases, min_size=0, max_size=100))
+def test_suffix_property_erases_context(text):
+    """After >= max_depth symbols the DFA state is context-free."""
+    dfa = build_automaton(motif_set("h", ["TATAAA", "CCAAT", "CG"]))
+    codes = encode(text)
+    if len(codes) < dfa.max_depth:
+        return
+    finals = {
+        scan_sequential(dfa, codes, start_state=s).end_state
+        for s in range(dfa.n_states)
+    }
+    assert len(finals) == 1

@@ -1,0 +1,106 @@
+"""The three matching engines agree and handle edge cases."""
+
+import numpy as np
+import pytest
+
+from repro.dna import (
+    DEFAULT_MOTIFS,
+    MatchResult,
+    WindowedScanner,
+    build_automaton,
+    encode,
+    generate_sequence,
+    motif_set,
+    scan_naive_windows,
+    scan_sequential,
+    scan_windowed,
+)
+
+DFA = build_automaton(DEFAULT_MOTIFS)
+
+
+class TestSequential:
+    def test_counts_known_text(self):
+        dfa = build_automaton(motif_set("x", ["GAATTC"]))
+        res = scan_sequential(dfa, encode("AAGAATTCGGAATTC"))
+        assert res.total == 2
+        assert res.per_pattern.tolist() == [2]
+
+    def test_overlapping_occurrences(self):
+        dfa = build_automaton(motif_set("x", ["AA"]))
+        res = scan_sequential(dfa, encode("AAAA"))
+        assert res.total == 3  # positions 0-1, 1-2, 2-3
+
+    def test_empty_input(self):
+        res = scan_sequential(DFA, encode(""))
+        assert res.total == 0
+        assert res.end_state == 0
+
+    def test_start_state_chaining(self):
+        text = encode("CCAATGAATTC")
+        whole = scan_sequential(DFA, text)
+        first = scan_sequential(DFA, text[:4])
+        second = scan_sequential(DFA, text[4:], start_state=first.end_state)
+        assert first.total + second.total == whole.total
+        assert second.end_state == whole.end_state
+
+    def test_unknown_bases_break_matches(self):
+        dfa = build_automaton(motif_set("x", ["ACGT"]))
+        assert scan_sequential(dfa, encode("ACNGT")).total == 0
+
+
+class TestWindowed:
+    @pytest.mark.parametrize("n", [0, 1, 5, 6, 7, 100, 5000])
+    def test_matches_sequential_at_all_sizes(self, n):
+        codes = generate_sequence(n, seed=n)
+        seq = scan_sequential(DFA, codes)
+        win = scan_windowed(DFA, codes)
+        assert win.total == seq.total
+        assert np.array_equal(win.per_pattern, seq.per_pattern)
+        assert win.end_state == seq.end_state
+
+    def test_nonroot_start_state(self):
+        codes = generate_sequence(500, seed=3)
+        for start in (1, 2, 5):
+            if start >= DFA.n_states:
+                continue
+            seq = scan_sequential(DFA, codes, start_state=start)
+            win = WindowedScanner(DFA).scan(codes, start_state=start)
+            assert win.total == seq.total
+            assert win.end_state == seq.end_state
+
+    def test_scanner_is_reusable(self):
+        scanner = WindowedScanner(DFA)
+        a = scanner.scan(generate_sequence(1000, seed=1))
+        b = scanner.scan(generate_sequence(1000, seed=1))
+        assert a.total == b.total
+
+    def test_infeasible_table_rejected(self):
+        huge = build_automaton(motif_set("x", ["ACGT" * 10]))
+        with pytest.raises(ValueError, match="infeasible"):
+            WindowedScanner(huge)
+
+
+class TestNaiveOracle:
+    def test_agrees_with_sequential(self):
+        codes = generate_sequence(3000, seed=11)
+        seq = scan_sequential(DFA, codes)
+        naive = scan_naive_windows(DFA, codes)
+        assert naive.total == seq.total
+        assert np.array_equal(naive.per_pattern, seq.per_pattern)
+        assert naive.end_state == seq.end_state
+
+    def test_pattern_longer_than_input(self):
+        dfa = build_automaton(motif_set("x", ["GATTACA"]))
+        assert scan_naive_windows(dfa, encode("GAT")).total == 0
+
+
+class TestMatchResult:
+    def test_rejects_inconsistent_totals(self):
+        with pytest.raises(ValueError, match="inconsistent"):
+            MatchResult(
+                total=5,
+                per_pattern=np.array([1, 1]),
+                end_state=0,
+                engine="test",
+            )

@@ -1,0 +1,89 @@
+"""Hopcroft minimization preserves counting and shrinks regex DFAs."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.dna import (
+    build_automaton,
+    compile_regex,
+    encode,
+    generate_sequence,
+    motif_set,
+    scan_sequential,
+)
+from repro.dna.minimize import minimize_dfa
+
+bases = st.sampled_from("ACGT")
+
+
+class TestEquivalence:
+    @pytest.mark.parametrize(
+        "pattern", ["GAATTC", "A+", "(AC)*G", "TATAWAW", "(A|C)(A|C)(A|C)"]
+    )
+    def test_counts_unchanged_for_regex(self, pattern):
+        cre = compile_regex(pattern)
+        small = minimize_dfa(cre.dfa)
+        codes = generate_sequence(5000, seed=7)
+        assert (
+            scan_sequential(small, codes).total
+            == scan_sequential(cre.dfa, codes).total
+        )
+
+    def test_per_pattern_counts_unchanged_for_aho_corasick(self):
+        dfa = build_automaton(motif_set("x", ["CG", "GCGC", "CGC"]))
+        small = minimize_dfa(dfa)
+        codes = generate_sequence(3000, gc=0.6, seed=8)
+        a = scan_sequential(dfa, codes)
+        b = scan_sequential(small, codes)
+        assert a.total == b.total
+        assert np.array_equal(a.per_pattern, b.per_pattern)
+
+    def test_flags_preserved(self):
+        cre = compile_regex("A+")
+        assert minimize_dfa(cre.dfa).unbounded_context
+        ac = build_automaton(motif_set("x", ["ACGT"]))
+        assert not minimize_dfa(ac).unbounded_context
+
+
+class TestMinimality:
+    def test_never_grows(self):
+        for pattern in ("GAATTC", "(A|AA)(C|CC)", "N*GG"):
+            dfa = compile_regex(pattern).dfa
+            assert minimize_dfa(dfa).n_states <= dfa.n_states
+
+    def test_shrinks_redundant_alternation(self):
+        # A|A compiles to more subset states than the minimal 2-state
+        # "saw an A" automaton.
+        dfa = compile_regex("A|A|A").dfa
+        small = minimize_dfa(dfa)
+        assert small.n_states <= dfa.n_states
+        assert small.n_states == minimize_dfa(compile_regex("A").dfa).n_states
+
+    def test_idempotent(self):
+        dfa = compile_regex("(AC)+T?").dfa
+        once = minimize_dfa(dfa)
+        twice = minimize_dfa(once)
+        assert twice.n_states == once.n_states
+        assert np.array_equal(twice.delta, once.delta)
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    motifs=st.lists(
+        st.text(alphabet=bases, min_size=1, max_size=6),
+        min_size=1,
+        max_size=4,
+        unique_by=str.upper,
+    ),
+    text=st.text(alphabet=st.sampled_from("ACGTN"), min_size=0, max_size=150),
+)
+def test_minimized_aho_corasick_counts_agree(motifs, text):
+    dfa = build_automaton(motif_set("h", motifs))
+    small = minimize_dfa(dfa)
+    codes = encode(text)
+    a = scan_sequential(dfa, codes)
+    b = scan_sequential(small, codes)
+    assert a.total == b.total
+    assert np.array_equal(a.per_pattern, b.per_pattern)
+    assert small.n_states <= dfa.n_states

@@ -1,0 +1,135 @@
+"""Chunk-parallel PaREM matching: planning, state maps, exactness."""
+
+from concurrent.futures import ThreadPoolExecutor
+
+import numpy as np
+import pytest
+
+from repro.dna import (
+    DEFAULT_MOTIFS,
+    ParemEngine,
+    build_automaton,
+    chunk_state_map,
+    compose_state_maps,
+    encode,
+    generate_sequence,
+    incoming_states,
+    motif_set,
+    parem_scan,
+    plan_chunks,
+    scan_sequential,
+)
+
+DFA = build_automaton(DEFAULT_MOTIFS)
+
+
+class TestPlanChunks:
+    def test_covers_range_exactly(self):
+        spans = plan_chunks(100, 7)
+        assert spans[0][0] == 0
+        assert spans[-1][1] == 100
+        for (a, b), (c, d) in zip(spans, spans[1:]):
+            assert b == c
+
+    def test_sizes_differ_by_at_most_one(self):
+        sizes = [b - a for a, b in plan_chunks(100, 7)]
+        assert max(sizes) - min(sizes) <= 1
+
+    def test_more_chunks_than_elements(self):
+        spans = plan_chunks(3, 5)
+        assert len(spans) == 5
+        assert sum(b - a for a, b in spans) == 3
+
+    def test_zero_elements(self):
+        assert plan_chunks(0, 3) == [(0, 0), (0, 0), (0, 0)]
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            plan_chunks(-1, 3)
+        with pytest.raises(ValueError):
+            plan_chunks(10, 0)
+
+
+class TestStateMaps:
+    def test_long_chunk_map_is_constant(self):
+        chunk = generate_sequence(100, seed=1)
+        smap = chunk_state_map(DFA, chunk)
+        assert len(set(smap.tolist())) == 1
+
+    def test_short_chunk_map_matches_per_state_scan(self):
+        chunk = encode("CCA")  # shorter than max_depth
+        smap = chunk_state_map(DFA, chunk)
+        for start in range(DFA.n_states):
+            s = start
+            for c in chunk:
+                s = int(DFA.delta[s, c])
+            assert smap[start] == s
+
+    def test_composition_equals_concatenation(self):
+        a = generate_sequence(4, seed=2)  # short: maps are non-constant
+        b = generate_sequence(3, seed=3)
+        combined = chunk_state_map(DFA, np.concatenate([a, b]))
+        composed = compose_state_maps(chunk_state_map(DFA, a), chunk_state_map(DFA, b))
+        assert np.array_equal(combined, composed)
+
+    def test_incoming_states_match_sequential_prefix_scans(self):
+        codes = generate_sequence(1000, seed=4)
+        spans = plan_chunks(len(codes), 6)
+        states = incoming_states(DFA, codes, spans)
+        for (start, _), expected in zip(spans, states):
+            assert scan_sequential(DFA, codes[:start]).end_state == expected
+
+
+class TestParemExactness:
+    @pytest.mark.parametrize("n_chunks", [1, 2, 3, 7, 16])
+    def test_matches_sequential(self, n_chunks):
+        codes = generate_sequence(5000, seed=5)
+        ref = scan_sequential(DFA, codes)
+        par = parem_scan(DFA, codes, n_chunks)
+        assert par.total == ref.total
+        assert np.array_equal(par.per_pattern, ref.per_pattern)
+        assert par.end_state == ref.end_state
+
+    def test_boundary_spanning_motif_counted_once(self):
+        # Put a motif exactly across every chunk boundary.
+        dfa = build_automaton(motif_set("x", ["GAATTC"]))
+        codes = encode("GAATTC" * 10)
+        ref = scan_sequential(dfa, codes)
+        for n_chunks in (2, 3, 4, 7, 9):
+            par = parem_scan(dfa, codes, n_chunks)
+            assert par.total == ref.total == 10
+
+    def test_chunks_shorter_than_max_depth(self):
+        dfa = build_automaton(motif_set("x", ["ACGTACGT"]))  # depth 8
+        codes = encode("ACGTACGTACGTACGT")
+        for n_chunks in (3, 5, 8, 16):
+            assert parem_scan(dfa, codes, n_chunks).total == scan_sequential(
+                dfa, codes
+            ).total
+
+    def test_empty_input(self):
+        par = parem_scan(DFA, encode(""), 4)
+        assert par.total == 0
+        assert par.end_state == 0
+
+    def test_scalar_engine_fallback(self):
+        codes = generate_sequence(400, seed=6)
+        ref = scan_sequential(DFA, codes)
+        par = parem_scan(DFA, codes, 4, vectorized=False)
+        assert par.total == ref.total
+
+    def test_with_thread_pool_executor(self):
+        codes = generate_sequence(10_000, seed=7)
+        ref = scan_sequential(DFA, codes)
+        with ThreadPoolExecutor(max_workers=4) as pool:
+            par = parem_scan(DFA, codes, 8, executor=pool)
+        assert par.total == ref.total
+        assert np.array_equal(par.per_pattern, ref.per_pattern)
+
+    def test_plan_exposes_chunk_work(self):
+        engine = ParemEngine(DFA)
+        codes = generate_sequence(100, seed=8)
+        work = engine.plan(codes, 4)
+        assert [w.index for w in work] == [0, 1, 2, 3]
+        assert work[0].start_state == 0
+        assert work[-1].stop == len(codes)

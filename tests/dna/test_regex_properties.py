@@ -1,0 +1,101 @@
+"""Property-based tests for the regex engine.
+
+Random patterns are generated as ASTs (so they are syntactically valid
+by construction), rendered to strings, compiled through the NFA/DFA
+pipeline, and checked against a brute-force ``re``-based oracle on
+random texts — plus chunk-parallel exactness.
+"""
+
+import re
+
+from hypothesis import given, settings, strategies as st
+
+from repro.dna import compile_regex, encode, expand_iupac
+from repro.dna.regex import parse_regex
+
+bases = st.sampled_from("ACGT")
+iupac = st.sampled_from("ACGTRYWSN")
+
+
+@st.composite
+def patterns(draw, depth=2):
+    """A random valid pattern string of bounded depth."""
+    if depth == 0:
+        kind = draw(st.integers(0, 2))
+        if kind == 0:
+            return draw(iupac)
+        if kind == 1:
+            return "."
+        members = draw(st.lists(bases, min_size=1, max_size=3, unique=True))
+        return "[" + "".join(members) + "]"
+    kind = draw(st.integers(0, 3))
+    if kind == 0:  # concatenation
+        parts = draw(st.lists(patterns(depth=depth - 1), min_size=1, max_size=3))
+        return "".join(parts)
+    if kind == 1:  # alternation
+        a = draw(patterns(depth=depth - 1))
+        b = draw(patterns(depth=depth - 1))
+        return f"({a}|{b})"
+    if kind == 2:  # quantifier
+        inner = draw(patterns(depth=depth - 1))
+        q = draw(st.sampled_from("*+?"))
+        return f"({inner}){q}"
+    return draw(patterns(depth=depth - 1))
+
+
+def oracle_count(pattern: str, text: str) -> int:
+    py = expand_iupac(pattern).replace(".", "[ACGTN]")
+    compiled = re.compile(py)
+    ends = 0
+    for i in range(len(text)):
+        for j in range(i + 1):
+            if compiled.fullmatch(text, j, i + 1):
+                ends += 1
+                break
+    return ends
+
+
+@settings(max_examples=50, deadline=None)
+@given(pattern=patterns(), text=st.text(alphabet=bases, min_size=0, max_size=60))
+def test_dfa_count_matches_re_oracle(pattern, text):
+    cre = compile_regex(pattern)
+    assert cre.count(encode(text)) == oracle_count(pattern, text)
+
+
+@settings(max_examples=50, deadline=None)
+@given(
+    pattern=patterns(),
+    text=st.text(alphabet=st.sampled_from("ACGTN"), min_size=0, max_size=120),
+    n_chunks=st.integers(min_value=1, max_value=9),
+)
+def test_parallel_count_is_chunking_invariant(pattern, text, n_chunks):
+    cre = compile_regex(pattern)
+    codes = encode(text)
+    assert cre.count_parallel(codes, n_chunks) == cre.count(codes)
+
+
+@settings(max_examples=80, deadline=None)
+@given(pattern=patterns())
+def test_generated_patterns_parse_and_compile(pattern):
+    parse_regex(pattern)
+    cre = compile_regex(pattern)
+    assert cre.dfa.n_states >= 1
+    assert cre.dfa.unbounded_context
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    pattern=patterns(),
+    a=st.text(alphabet=bases, min_size=0, max_size=40),
+    b=st.text(alphabet=bases, min_size=0, max_size=40),
+)
+def test_state_chaining_is_concatenation(pattern, a, b):
+    """Scanning b from a's end state equals scanning a+b."""
+    from repro.dna import scan_sequential
+
+    dfa = compile_regex(pattern).dfa
+    ra = scan_sequential(dfa, encode(a))
+    rb = scan_sequential(dfa, encode(b), start_state=ra.end_state)
+    whole = scan_sequential(dfa, encode(a + b))
+    assert ra.total + rb.total == whole.total
+    assert rb.end_state == whole.end_state

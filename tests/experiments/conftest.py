@@ -1,0 +1,10 @@
+"""Shared experiment context: built once per test session (~10 s)."""
+
+import pytest
+
+from repro.experiments import default_context
+
+
+@pytest.fixture(scope="session")
+def ctx():
+    return default_context(0)

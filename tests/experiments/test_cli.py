@@ -1,0 +1,45 @@
+"""CLI experiment runner."""
+
+import pytest
+
+from repro.cli import ARTIFACTS, main
+
+
+class TestCLI:
+    def test_table2_prints_method_matrix(self, capsys):
+        assert main(["table2"]) == 0
+        out = capsys.readouterr().out
+        assert "SAML" in out
+        assert "Simulated Annealing" in out
+
+    def test_fig2_prints_three_sweeps(self, capsys):
+        assert main(["fig2"]) == 0
+        out = capsys.readouterr().out
+        assert "fig2a" in out and "fig2b" in out and "fig2c" in out
+        assert "CPU only" in out
+
+    def test_table4_prints_accuracy(self, capsys):
+        assert main(["table4"]) == 0
+        out = capsys.readouterr().out
+        assert "Table IV" in out
+        assert "percent [%]" in out
+
+    def test_table1_prints_parameter_space(self, capsys):
+        assert main(["table1"]) == 0
+        out = capsys.readouterr().out
+        assert "Workload Fraction" in out
+        assert "scatter" in out
+
+    def test_table3_prints_hardware(self, capsys):
+        assert main(["table3"]) == 0
+        out = capsys.readouterr().out
+        assert "E5-2695v2" in out and "7120P" in out
+        assert "244" in out
+
+    def test_unknown_artifact_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["figure42"])
+
+    def test_artifact_list_is_complete(self):
+        for must in ("fig2", "fig9", "table6", "table9", "summary", "all"):
+            assert must in ARTIFACTS

@@ -1,0 +1,27 @@
+"""Shared experiment context."""
+
+import pytest
+
+from repro.experiments import default_context
+from repro.experiments.context import build_context
+
+
+class TestContext:
+    def test_default_context_is_memoized(self):
+        assert default_context(0) is default_context(0)
+
+    def test_genome_sizes_in_paper_order(self, ctx):
+        sizes = ctx.genome_sizes_mb
+        assert list(sizes) == ["human", "mouse", "cat", "dog"]
+        assert sizes["human"] == pytest.approx(3170.0)
+
+    def test_models_trained_on_paper_grid(self, ctx):
+        assert ctx.models.data.n_experiments == 7200
+
+    def test_ml_returns_fresh_evaluators(self, ctx):
+        a, b = ctx.ml(), ctx.ml()
+        assert a is not b
+        assert a.host_model is b.host_model  # same trained models underneath
+
+    def test_space_is_paper_space(self, ctx):
+        assert ctx.space.size() == 19926

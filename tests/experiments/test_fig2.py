@@ -1,0 +1,69 @@
+"""Figure 2: the motivational sweeps reproduce the paper's crossovers."""
+
+import numpy as np
+import pytest
+
+from repro.experiments import (
+    RATIO_GRID,
+    RATIO_LABELS,
+    SCENARIOS,
+    normalize_1_10,
+    run_fig2,
+    run_scenario,
+)
+from repro.machines import PlatformSimulator
+
+
+@pytest.fixture(scope="module")
+def results():
+    return run_fig2(PlatformSimulator(seed=0))
+
+
+class TestSweepStructure:
+    def test_eleven_ratio_points(self):
+        assert len(RATIO_GRID) == 11
+        assert len(RATIO_LABELS) == 11
+        assert RATIO_GRID[0] == 100.0 and RATIO_GRID[-1] == 0.0
+
+    def test_three_scenarios(self):
+        assert [s.name for s in SCENARIOS] == ["fig2a", "fig2b", "fig2c"]
+
+    def test_all_scenarios_present(self, results):
+        assert set(results) == {"fig2a", "fig2b", "fig2c"}
+
+
+class TestPaperCrossovers:
+    def test_fig2a_small_input_cpu_only_wins(self, results):
+        assert results["fig2a"].best_label == "CPU only"
+
+    def test_fig2b_large_input_split_wins(self, results):
+        assert results["fig2b"].best_label in ("70/30", "60/40", "50/50")
+
+    def test_fig2c_few_threads_device_heavy_split_wins(self, results):
+        assert results["fig2c"].best_label in ("30/70", "20/80", "40/60")
+
+    def test_fig2c_cpu_only_is_worst(self, results):
+        res = results["fig2c"]
+        assert res.normalized[0] == max(res.normalized)
+
+
+class TestNormalization:
+    def test_range_is_1_to_10(self, results):
+        for res in results.values():
+            assert min(res.normalized) == pytest.approx(1.0)
+            assert max(res.normalized) == pytest.approx(10.0)
+
+    def test_order_preserved(self, results):
+        res = results["fig2b"]
+        assert np.argmin(res.normalized) == np.argmin(res.seconds)
+
+    def test_constant_input(self):
+        out = normalize_1_10(np.array([2.0, 2.0]))
+        assert out.tolist() == [1.0, 1.0]
+
+    def test_scenario_runner_deterministic(self):
+        sim1 = PlatformSimulator(seed=5)
+        sim2 = PlatformSimulator(seed=5)
+        a = run_scenario(sim1, SCENARIOS[0])
+        b = run_scenario(sim2, SCENARIOS[0])
+        assert a.seconds == b.seconds

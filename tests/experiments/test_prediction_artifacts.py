@@ -1,0 +1,88 @@
+"""Figures 5-8 and Tables IV-V: prediction-accuracy artifacts."""
+
+import numpy as np
+import pytest
+
+from repro.core.params import DEVICE_THREADS, EVAL_HOST_THREADS
+from repro.experiments import (
+    FIG5_THREADS,
+    FIG6_THREADS,
+    fig5_curves,
+    fig6_curves,
+    fig7_histogram,
+    fig8_histogram,
+    table4,
+    table5,
+)
+from repro.ml import percent_error
+
+
+class TestCurves:
+    def test_fig5_one_curve_per_thread_count(self, ctx):
+        curves = fig5_curves(ctx)
+        assert tuple(c.threads for c in curves) == FIG5_THREADS
+        assert all(c.affinity == "scatter" for c in curves)
+
+    def test_fig6_one_curve_per_thread_count(self, ctx):
+        curves = fig6_curves(ctx)
+        assert tuple(c.threads for c in curves) == FIG6_THREADS
+        assert all(c.affinity == "balanced" for c in curves)
+
+    def test_series_aligned(self, ctx):
+        for c in fig5_curves(ctx):
+            assert len(c.sizes_mb) == len(c.measured) == len(c.predicted)
+
+    def test_sizes_span_paper_range(self, ctx):
+        sizes = fig5_curves(ctx)[0].sizes_mb
+        assert sizes[0] < 120.0  # ~ the paper's 116 MB smallest point
+        assert sizes[-1] > 3000.0  # ~ the 3099 MB largest point
+
+    def test_predictions_match_measurements_result1(self, ctx):
+        """Result 1: predicted times match measured times well."""
+        for curves in (fig5_curves(ctx), fig6_curves(ctx)):
+            for c in curves:
+                pct = percent_error(np.array(c.measured), np.array(c.predicted))
+                assert np.median(pct) < 10.0
+
+    def test_more_threads_run_faster(self, ctx):
+        curves = fig5_curves(ctx)
+        # Compare the largest-size measured point across thread counts.
+        last = [c.measured[-1] for c in curves]
+        assert all(a > b for a, b in zip(last, last[1:]))
+
+
+class TestHistograms:
+    def test_fig7_covers_host_test_half(self, ctx):
+        h = fig7_histogram(ctx)
+        assert h.n_predictions == 1440  # half of 2880
+
+    def test_fig8_covers_device_test_half(self, ctx):
+        h = fig8_histogram(ctx)
+        assert h.n_predictions == 2160  # half of 4320
+
+    def test_most_host_errors_are_small(self, ctx):
+        """Fig. 7's shape: the mass sits in the lowest bins."""
+        h = fig7_histogram(ctx)
+        low = sum(h.counts[:4])
+        assert low > 0.5 * h.n_predictions
+
+
+class TestAccuracyTables:
+    def test_table4_covers_eval_thread_grid(self, ctx):
+        assert table4(ctx).threads == EVAL_HOST_THREADS
+
+    def test_table5_covers_device_thread_grid(self, ctx):
+        assert table5(ctx).threads == DEVICE_THREADS
+
+    def test_result2_error_bands(self, ctx):
+        """Result 2: average percent errors in the paper's single-digit band
+        (paper: 5.24% host, 3.13% device)."""
+        assert table4(ctx).avg_percent < 8.0
+        assert table5(ctx).avg_percent < 8.0
+
+    def test_rows_render_two_metrics(self, ctx):
+        rows = table4(ctx).rows()
+        assert rows[0][0] == "absolute [s]"
+        assert rows[1][0] == "percent [%]"
+        # threads columns + label + avg
+        assert len(rows[0]) == len(table4(ctx).threads) + 2

@@ -1,0 +1,55 @@
+"""Plain-text table/series/histogram rendering."""
+
+import pytest
+
+from repro.experiments import render_histogram, render_series, render_table
+
+
+class TestRenderTable:
+    def test_basic_layout(self):
+        out = render_table(["a", "bb"], [(1, 2.5), (30, 4.0)])
+        lines = out.splitlines()
+        assert lines[0].startswith("a")
+        assert "30" in lines[-1]
+        assert "2.500" in out  # default float format
+
+    def test_title(self):
+        out = render_table(["x"], [(1,)], title="My Table")
+        assert out.splitlines()[0] == "My Table"
+        assert out.splitlines()[1] == "=" * len("My Table")
+
+    def test_rejects_ragged_rows(self):
+        with pytest.raises(ValueError, match="cells"):
+            render_table(["a", "b"], [(1,)])
+
+    def test_columns_aligned(self):
+        out = render_table(["col", "x"], [("a", 1), ("longer", 2)])
+        rows = out.splitlines()
+        pipes = [r.index("|") for r in rows if "|" in r]
+        assert len(set(pipes)) == 1
+
+
+class TestRenderSeries:
+    def test_one_column_per_series(self):
+        out = render_series([1, 2], {"s1": [0.1, 0.2], "s2": [0.3, 0.4]}, x_label="it")
+        header = out.splitlines()[0]
+        assert "it" in header and "s1" in header and "s2" in header
+
+    def test_rejects_length_mismatch(self):
+        with pytest.raises(ValueError, match="length"):
+            render_series([1, 2], {"s": [0.1]})
+
+
+class TestRenderHistogram:
+    def test_bars_scale_with_counts(self):
+        out = render_histogram(["a", "b"], [10, 5])
+        lines = out.splitlines()
+        assert lines[0].count("#") == 2 * lines[1].count("#")
+
+    def test_zero_counts(self):
+        out = render_histogram(["a"], [0])
+        assert "#" not in out
+
+    def test_rejects_misaligned(self):
+        with pytest.raises(ValueError, match="align"):
+            render_histogram(["a"], [1, 2])

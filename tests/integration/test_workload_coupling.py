@@ -1,0 +1,72 @@
+"""Cross-module coupling: the DNA automaton drives the platform model,
+and bigger automata genuinely change the tuning problem.
+"""
+
+import numpy as np
+import pytest
+
+from repro.dna import DNASequenceAnalysis, motif_set
+from repro.machines import (
+    DevicePerformanceModel,
+    HostPerformanceModel,
+    PlatformSimulator,
+)
+
+
+def big_motif_set(n: int = 120, length: int = 8, seed: int = 0):
+    """Many random motifs -> a large automaton (bigger transition table)."""
+    rng = np.random.default_rng(seed)
+    patterns = set()
+    while len(patterns) < n:
+        patterns.add("".join("ACGT"[i] for i in rng.integers(0, 4, size=length)))
+    return motif_set("big", sorted(patterns))
+
+
+class TestAutomatonSizeCouplesToPerformance:
+    def test_bigger_automaton_bigger_table(self):
+        small = DNASequenceAnalysis()
+        big = DNASequenceAnalysis(big_motif_set())
+        assert big.dfa.table_kb > 4 * small.dfa.table_kb
+
+    def test_bigger_table_slower_scan_rate(self):
+        small_profile = DNASequenceAnalysis().workload_profile()
+        big_profile = DNASequenceAnalysis(big_motif_set(800, 10)).workload_profile()
+        h_small = HostPerformanceModel(workload=small_profile)
+        h_big = HostPerformanceModel(workload=big_profile)
+        assert h_big.rate_mbs(48, "scatter") < h_small.rate_mbs(48, "scatter")
+
+    def test_device_feels_large_tables_more(self):
+        """The Phi's small per-core L2 slice makes it more sensitive to
+        table footprint than the host with its 30 MB L3."""
+        small_profile = DNASequenceAnalysis().workload_profile()
+        big_profile = DNASequenceAnalysis(big_motif_set(800, 10)).workload_profile()
+        h_ratio = (
+            HostPerformanceModel(workload=big_profile).rate_mbs(48, "scatter")
+            / HostPerformanceModel(workload=small_profile).rate_mbs(48, "scatter")
+        )
+        d_ratio = (
+            DevicePerformanceModel(workload=big_profile).rate_mbs(240, "balanced")
+            / DevicePerformanceModel(workload=small_profile).rate_mbs(240, "balanced")
+        )
+        assert d_ratio <= h_ratio
+
+    def test_simulator_accepts_custom_profile(self):
+        # 800 length-10 motifs -> ~150 KB table, enough to spill L1/L2
+        # and show up in the measured scan time.
+        profile = DNASequenceAnalysis(big_motif_set(800, 10)).workload_profile()
+        sim = PlatformSimulator(workload=profile, seed=0)
+        t = sim.measure_host(48, "scatter", 1000.0)
+        base = PlatformSimulator(seed=0).measure_host(48, "scatter", 1000.0)
+        assert t > base  # the heavier automaton slows the same scan
+
+
+class TestEngineAgreesWithItselfAcrossMotifSets:
+    @pytest.mark.parametrize("n_motifs", [1, 10, 60])
+    def test_split_exactness_scales_with_automaton_size(self, n_motifs):
+        from repro.dna import generate_sequence, scan_sequential
+
+        app = DNASequenceAnalysis(big_motif_set(n_motifs, 6, seed=n_motifs))
+        codes = generate_sequence(20_000, seed=1)
+        ref = scan_sequential(app.dfa, codes)
+        split = app.analyze_split(codes, 42.5, host_workers=2, device_workers=3)
+        assert split.total == ref.total

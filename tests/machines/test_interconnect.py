@@ -1,0 +1,56 @@
+"""PCIe transfer and offload-cost model."""
+
+import pytest
+
+from repro.machines import OffloadCost, offload_cost, transfer_time_s
+from repro.machines.spec import PCIeSpec
+
+LINK = PCIeSpec()
+
+
+class TestTransferTime:
+    def test_linear_in_size(self):
+        assert transfer_time_s(200, LINK) == pytest.approx(2 * transfer_time_s(100, LINK))
+
+    def test_known_value(self):
+        # 6144 MB at 6 GB/s = 1 second.
+        assert transfer_time_s(6.0 * 1024, LINK) == pytest.approx(1.0)
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError):
+            transfer_time_s(-1, LINK)
+
+
+class TestOffloadCost:
+    def test_zero_mb_costs_nothing(self):
+        cost = offload_cost(0.0, LINK)
+        assert cost == OffloadCost(0.0, 0.0, 0.0)
+        assert cost.total_exposed_s == 0.0
+
+    def test_nonzero_mb_pays_launch_latency(self):
+        cost = offload_cost(10.0, LINK)
+        assert cost.launch_s == pytest.approx(LINK.latency_s)
+        assert cost.total_exposed_s > LINK.latency_s
+
+    def test_full_overlap_hides_input_transfer(self):
+        hidden = offload_cost(1000.0, LINK, overlap_factor=1.0)
+        exposed = offload_cost(1000.0, LINK, overlap_factor=0.0)
+        assert hidden.exposed_transfer_s < exposed.exposed_transfer_s
+        # The raw wire time is identical either way.
+        assert hidden.transfer_s == pytest.approx(exposed.transfer_s)
+
+    def test_overlap_interpolates(self):
+        lo = offload_cost(1000.0, LINK, overlap_factor=0.0).exposed_transfer_s
+        mid = offload_cost(1000.0, LINK, overlap_factor=0.5).exposed_transfer_s
+        hi = offload_cost(1000.0, LINK, overlap_factor=1.0).exposed_transfer_s
+        assert hi < mid < lo
+
+    def test_monotone_in_size(self):
+        small = offload_cost(10.0, LINK).total_exposed_s
+        large = offload_cost(1000.0, LINK).total_exposed_s
+        assert large > small
+
+    @pytest.mark.parametrize("bad", [-0.01, 1.01])
+    def test_overlap_bounds(self, bad):
+        with pytest.raises(ValueError, match="overlap_factor"):
+            offload_cost(10.0, LINK, overlap_factor=bad)

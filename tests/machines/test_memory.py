@@ -1,0 +1,55 @@
+"""Bandwidth rooflines and rate blending."""
+
+import pytest
+
+from repro.machines.memory import (
+    combine_rates,
+    device_scan_roofline_mbs,
+    host_scan_roofline_mbs,
+)
+from repro.machines.spec import EMIL
+from repro.machines.topology import PlacementStats
+
+
+def stats(n_threads: int, cores: int, sockets: int) -> PlacementStats:
+    return PlacementStats(
+        n_threads=n_threads,
+        cores_used=cores,
+        sockets_used=sockets,
+        threads_per_core=((1, cores),),
+    )
+
+
+class TestRooflines:
+    def test_host_two_socket_roofline_near_5_gbs(self):
+        r = host_scan_roofline_mbs(EMIL, stats(48, 24, 2))
+        assert 4500 < r < 6500
+
+    def test_single_socket_roofline_is_reduced(self):
+        both = host_scan_roofline_mbs(EMIL, stats(24, 12, 2))
+        one = host_scan_roofline_mbs(EMIL, stats(24, 12, 1))
+        assert one < both
+        assert one > 0.4 * both
+
+    def test_device_roofline_near_7_5_gbs(self):
+        r = device_scan_roofline_mbs(EMIL.device)
+        assert 6500 < r < 8500
+
+
+class TestCombineRates:
+    def test_below_both_inputs(self):
+        assert combine_rates(1000, 1000) < 1000
+
+    def test_harmonic_value(self):
+        assert combine_rates(1000, 1000) == pytest.approx(500.0)
+
+    def test_dominated_by_smaller(self):
+        assert combine_rates(100, 1e9) == pytest.approx(100.0, rel=1e-4)
+
+    def test_symmetric(self):
+        assert combine_rates(123, 456) == pytest.approx(combine_rates(456, 123))
+
+    @pytest.mark.parametrize("a,b", [(0, 1), (1, 0), (-1, 1)])
+    def test_rejects_nonpositive(self, a, b):
+        with pytest.raises(ValueError):
+            combine_rates(a, b)

@@ -1,0 +1,150 @@
+"""Calibration and shape of the analytic performance model.
+
+These tests pin the decision landscape the paper's method depends on
+(DESIGN.md section 2) — if any of them breaks, the reproduction's
+figures/tables lose their meaning.
+"""
+
+import pytest
+
+from repro.machines import (
+    DNA_SCAN,
+    DevicePerformanceModel,
+    HostPerformanceModel,
+    WorkloadProfile,
+)
+
+HOST = HostPerformanceModel()
+DEVICE = DevicePerformanceModel()
+
+
+class TestHostModel:
+    def test_zero_mb_is_free(self):
+        assert HOST.time(48, "scatter", 0.0) == 0.0
+
+    def test_rejects_negative_mb(self):
+        with pytest.raises(ValueError):
+            HOST.time(48, "scatter", -1.0)
+
+    def test_time_monotone_in_threads(self):
+        times = [HOST.time(n, "scatter", 3099.0) for n in (2, 6, 12, 24, 36, 48)]
+        assert all(a > b for a, b in zip(times, times[1:]))
+
+    def test_time_linearish_in_size(self):
+        t1 = HOST.time(24, "scatter", 1000.0)
+        t2 = HOST.time(24, "scatter", 2000.0)
+        assert t2 == pytest.approx(2 * t1, rel=0.05)
+
+    def test_fig5_curve_bands(self):
+        # Paper Fig. 5 at ~3.1 GB: 6 threads ~2.4 s ... 48 threads ~0.9 s.
+        assert 2.0 < HOST.time(6, "scatter", 3099.0) < 3.0
+        assert 1.2 < HOST.time(12, "scatter", 3099.0) < 1.9
+        assert 0.8 < HOST.time(24, "scatter", 3099.0) < 1.3
+        assert 0.6 < HOST.time(48, "scatter", 3099.0) < 1.1
+
+    def test_saturation_sublinear_scaling(self):
+        # Doubling 24 -> 48 threads must gain much less than 2x (roofline).
+        gain = HOST.time(24, "scatter", 3099.0) / HOST.time(48, "scatter", 3099.0)
+        assert 1.0 < gain < 1.4
+
+    def test_compact_single_socket_bandwidth_penalty(self):
+        # 12 threads compact sit on one socket; scatter uses both.
+        assert HOST.rate_mbs(12, "compact") < HOST.rate_mbs(12, "scatter")
+
+    def test_none_slightly_slower_than_scatter(self):
+        assert HOST.rate_mbs(24, "none") < HOST.rate_mbs(24, "scatter")
+
+    def test_big_dfa_table_slows_scanning(self):
+        big = HostPerformanceModel(workload=WorkloadProfile(table_kb=4096.0))
+        assert big.rate_mbs(24, "scatter") < HOST.rate_mbs(24, "scatter")
+
+
+class TestDeviceModel:
+    def test_zero_mb_is_free(self):
+        assert DEVICE.time(240, "balanced", 0.0) == 0.0
+
+    def test_time_monotone_in_threads(self):
+        times = [
+            DEVICE.time(n, "balanced", 3099.0)
+            for n in (2, 4, 8, 16, 30, 60, 120, 180, 240)
+        ]
+        assert all(a > b for a, b in zip(times, times[1:]))
+
+    def test_paper_span_two_threads_slowest(self):
+        # Section IV-B: device times span ~0.9-42 s across configurations.
+        assert 30.0 < DEVICE.time(2, "balanced", 3170.0) < 55.0
+        assert 0.8 < DEVICE.time(240, "balanced", 3170.0) < 1.6
+
+    def test_device_needs_many_threads_to_compete_with_host(self):
+        host_best = HOST.time(48, "scatter", 3170.0)
+        assert DEVICE.time(60, "balanced", 3170.0) > host_best
+        assert DEVICE.time(240, "balanced", 3170.0) < 2.0 * host_best
+
+    def test_compact_low_thread_counts_use_fewer_cores(self):
+        # 60 threads compact = 15 cores; balanced = 60 cores.
+        assert DEVICE.rate_mbs(60, "compact") < DEVICE.rate_mbs(60, "balanced")
+
+    def test_offload_region_includes_transfer(self):
+        compute = DEVICE.compute_time(240, "balanced", 1000.0)
+        full = DEVICE.time(240, "balanced", 1000.0)
+        assert full > compute
+
+    def test_hyperthreading_yield_beyond_one_per_core(self):
+        # 120 threads (2/core) must beat 60 (1/core) but not by 2x.
+        r60 = DEVICE.rate_mbs(60, "balanced")
+        r120 = DEVICE.rate_mbs(120, "balanced")
+        assert r60 < r120 < 1.8 * r60
+
+
+class TestDecisionLandscape:
+    """The crossovers that motivate the paper (Fig. 2)."""
+
+    def best_fraction(self, size_mb: float, host_threads: int) -> float:
+        best, best_e = None, float("inf")
+        for f in range(0, 101, 5):
+            th = HOST.time(host_threads, "scatter", size_mb * f / 100.0) if f else 0.0
+            td = (
+                DEVICE.time(240, "balanced", size_mb * (100 - f) / 100.0)
+                if f < 100
+                else 0.0
+            )
+            e = max(th, td)
+            if e < best_e:
+                best, best_e = f, e
+        return best
+
+    def test_small_input_cpu_only_wins(self):
+        assert self.best_fraction(190.0, 48) == 100.0
+
+    def test_large_input_splits_around_60_40(self):
+        assert 50.0 <= self.best_fraction(3250.0, 48) <= 75.0
+
+    def test_few_host_threads_shift_work_to_device(self):
+        assert self.best_fraction(3250.0, 4) <= 40.0
+
+    def test_heterogeneous_speedup_bands(self):
+        size = 3170.0
+        best_f = self.best_fraction(size, 48)
+        e = max(
+            HOST.time(48, "scatter", size * best_f / 100.0),
+            DEVICE.time(240, "balanced", size * (100 - best_f) / 100.0),
+        )
+        host_only = HOST.time(48, "scatter", size)
+        device_only = DEVICE.time(240, "balanced", size)
+        assert 1.4 < host_only / e < 2.2  # paper: 1.68-1.95 for EM
+        assert 1.8 < device_only / e < 2.7  # paper: 2.02-2.36 for EM
+
+
+class TestWorkloadProfile:
+    def test_rejects_nonpositive_rates(self):
+        with pytest.raises(ValueError):
+            WorkloadProfile(host_rate_mbs=0.0)
+        with pytest.raises(ValueError):
+            WorkloadProfile(device_rate_mbs=-1.0)
+
+    def test_rejects_negative_table(self):
+        with pytest.raises(ValueError):
+            WorkloadProfile(table_kb=-1.0)
+
+    def test_default_profile_is_dna_scan(self):
+        assert DNA_SCAN.name == "dna-scan"

@@ -1,0 +1,95 @@
+"""Hardware specs (Table III) and their derived quantities."""
+
+import pytest
+
+from repro.machines import EMIL, CPUSpec, PCIeSpec, PhiSpec, PlatformSpec
+
+
+class TestCPUSpec:
+    def test_default_is_e5_2695v2(self):
+        cpu = CPUSpec()
+        assert cpu.cores == 12
+        assert cpu.threads_per_core == 2
+        assert cpu.base_freq_ghz == pytest.approx(2.4)
+        assert cpu.turbo_freq_ghz == pytest.approx(3.2)
+
+    def test_hardware_threads(self):
+        assert CPUSpec().hardware_threads == 24
+
+    def test_rejects_nonpositive_cores(self):
+        with pytest.raises(ValueError, match="cores"):
+            CPUSpec(cores=0)
+
+    def test_rejects_nonpositive_threads_per_core(self):
+        with pytest.raises(ValueError, match="threads_per_core"):
+            CPUSpec(threads_per_core=0)
+
+    def test_rejects_turbo_below_base(self):
+        with pytest.raises(ValueError, match="frequencies"):
+            CPUSpec(base_freq_ghz=3.0, turbo_freq_ghz=2.0)
+
+    def test_frozen(self):
+        with pytest.raises(AttributeError):
+            CPUSpec().cores = 16  # type: ignore[misc]
+
+
+class TestPhiSpec:
+    def test_default_is_7120p(self):
+        phi = PhiSpec()
+        assert phi.cores == 61
+        assert phi.threads_per_core == 4
+        assert phi.simd_bits == 512
+
+    def test_usable_cores_excludes_os_core(self):
+        assert PhiSpec().usable_cores == 60
+
+    def test_hardware_threads_counts_all_cores(self):
+        assert PhiSpec().hardware_threads == 244
+
+    def test_usable_hardware_threads(self):
+        assert PhiSpec().usable_hardware_threads == 240
+
+    def test_rejects_reserving_all_cores(self):
+        with pytest.raises(ValueError, match="os_reserved_cores"):
+            PhiSpec(cores=4, os_reserved_cores=4)
+
+    def test_rejects_negative_reserved(self):
+        with pytest.raises(ValueError, match="os_reserved_cores"):
+            PhiSpec(os_reserved_cores=-1)
+
+
+class TestPCIeSpec:
+    def test_rejects_nonpositive_bandwidth(self):
+        with pytest.raises(ValueError, match="bandwidth"):
+            PCIeSpec(effective_bandwidth_gbs=0.0)
+
+    def test_rejects_negative_latency(self):
+        with pytest.raises(ValueError, match="latency"):
+            PCIeSpec(latency_s=-0.1)
+
+
+class TestPlatformSpec:
+    def test_emil_matches_table_iii(self):
+        assert EMIL.name == "Emil"
+        assert EMIL.sockets == 2
+        assert EMIL.host_cores == 24
+        assert EMIL.host_hardware_threads == 48
+        assert EMIL.device.hardware_threads == 244
+        assert EMIL.num_devices == 1
+
+    def test_host_bandwidth_aggregates_sockets(self):
+        assert EMIL.host_mem_bandwidth_gbs == pytest.approx(2 * 59.7)
+
+    def test_with_devices_copies(self):
+        p8 = EMIL.with_devices(8)
+        assert p8.num_devices == 8
+        assert EMIL.num_devices == 1  # original untouched
+
+    @pytest.mark.parametrize("n", [0, 9, -1])
+    def test_with_devices_rejects_out_of_range(self, n):
+        with pytest.raises(ValueError, match="num_devices"):
+            EMIL.with_devices(n)
+
+    def test_rejects_nonpositive_sockets(self):
+        with pytest.raises(ValueError, match="sockets"):
+            PlatformSpec(sockets=0)

@@ -1,0 +1,84 @@
+"""Boosted decision tree regression."""
+
+import numpy as np
+import pytest
+
+from repro.ml import BoostedDecisionTreeRegressor, RegressionTree
+
+
+def make_data(n=400, seed=0):
+    rng = np.random.default_rng(seed)
+    X = rng.random((n, 3))
+    y = 2.0 * X[:, 0] + np.sin(5 * X[:, 1]) + 0.1 * rng.normal(size=n)
+    return X, y
+
+
+class TestFit:
+    def test_training_loss_decreases(self):
+        X, y = make_data()
+        m = BoostedDecisionTreeRegressor(n_estimators=50, seed=0).fit(X, y)
+        assert m.train_loss_[0] > m.train_loss_[-1]
+        # Overall trend is monotone within tolerance (LS boosting).
+        assert m.train_loss_[-1] < 0.5 * m.train_loss_[0]
+
+    def test_beats_single_tree(self):
+        X, y = make_data()
+        Xt, yt = make_data(seed=1)
+        boost = BoostedDecisionTreeRegressor(n_estimators=100, max_depth=3).fit(X, y)
+        tree = RegressionTree(max_depth=3).fit(X, y)
+        mse_boost = float(np.mean((boost.predict(Xt) - yt) ** 2))
+        mse_tree = float(np.mean((tree.predict(Xt) - yt) ** 2))
+        assert mse_boost < mse_tree
+
+    def test_subsample_deterministic_by_seed(self):
+        X, y = make_data()
+        a = BoostedDecisionTreeRegressor(n_estimators=20, subsample=0.5, seed=3).fit(X, y)
+        b = BoostedDecisionTreeRegressor(n_estimators=20, subsample=0.5, seed=3).fit(X, y)
+        assert np.array_equal(a.predict(X), b.predict(X))
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError, match="empty"):
+            BoostedDecisionTreeRegressor().fit(np.zeros((0, 1)), np.zeros(0))
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"n_estimators": 0},
+            {"learning_rate": 0.0},
+            {"learning_rate": 1.5},
+            {"subsample": 0.0},
+        ],
+    )
+    def test_parameter_validation(self, kwargs):
+        with pytest.raises(ValueError):
+            BoostedDecisionTreeRegressor(**kwargs)
+
+
+class TestPredict:
+    def test_before_fit_raises(self):
+        with pytest.raises(RuntimeError):
+            BoostedDecisionTreeRegressor().predict(np.zeros((1, 1)))
+        with pytest.raises(RuntimeError):
+            BoostedDecisionTreeRegressor().predict_one([0.0])
+        with pytest.raises(RuntimeError):
+            BoostedDecisionTreeRegressor().staged_predict(np.zeros((1, 1)))
+
+    def test_predict_one_matches_batch(self):
+        X, y = make_data(n=200)
+        m = BoostedDecisionTreeRegressor(n_estimators=30).fit(X, y)
+        batch = m.predict(X[:5])
+        for i in range(5):
+            assert m.predict_one(X[i]) == pytest.approx(batch[i])
+
+    def test_staged_predict_converges_to_final(self):
+        X, y = make_data(n=200)
+        m = BoostedDecisionTreeRegressor(n_estimators=25).fit(X, y)
+        stages = m.staged_predict(X, every=5)
+        assert len(stages) == 5
+        assert np.allclose(stages[-1], m.predict(X))
+
+    def test_one_estimator_is_shrunk_tree_plus_mean(self):
+        X, y = make_data(n=100)
+        m = BoostedDecisionTreeRegressor(n_estimators=1, learning_rate=0.5).fit(X, y)
+        expected = y.mean() + 0.5 * m.trees_[0].predict(X)
+        assert np.allclose(m.predict(X), expected)

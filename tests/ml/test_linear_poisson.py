@@ -1,0 +1,83 @@
+"""Linear and Poisson regression baselines."""
+
+import numpy as np
+import pytest
+
+from repro.ml import LinearRegression, PoissonRegressor
+
+
+class TestLinear:
+    def test_recovers_exact_linear_function(self):
+        rng = np.random.default_rng(0)
+        X = rng.random((100, 3))
+        coef = np.array([2.0, -1.0, 0.5])
+        y = X @ coef + 4.0
+        m = LinearRegression().fit(X, y)
+        assert np.allclose(m.coef_, coef, atol=1e-9)
+        assert m.intercept_ == pytest.approx(4.0)
+        assert np.allclose(m.predict(X), y, atol=1e-9)
+
+    def test_ridge_shrinks_coefficients(self):
+        rng = np.random.default_rng(1)
+        X = rng.random((50, 2))
+        y = X @ np.array([3.0, 3.0]) + rng.normal(0, 0.1, 50)
+        free = LinearRegression(alpha=0.0).fit(X, y)
+        shrunk = LinearRegression(alpha=100.0).fit(X, y)
+        assert np.linalg.norm(shrunk.coef_) < np.linalg.norm(free.coef_)
+
+    def test_collinear_features_handled(self):
+        X = np.column_stack([np.arange(10.0), np.arange(10.0)])
+        y = X[:, 0]
+        m = LinearRegression(alpha=1e-8).fit(X, y)
+        assert np.allclose(m.predict(X), y, atol=1e-6)
+
+    def test_rejects_negative_alpha(self):
+        with pytest.raises(ValueError):
+            LinearRegression(alpha=-1.0)
+
+    def test_predict_before_fit(self):
+        with pytest.raises(RuntimeError):
+            LinearRegression().predict(np.zeros((1, 1)))
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            LinearRegression().fit(np.zeros((0, 1)), np.zeros(0))
+
+
+class TestPoisson:
+    def test_recovers_log_linear_rates(self):
+        rng = np.random.default_rng(2)
+        X = rng.random((2000, 2))
+        mu = np.exp(0.5 + 1.2 * X[:, 0] - 0.7 * X[:, 1])
+        y = rng.poisson(mu).astype(float)
+        m = PoissonRegressor().fit(X, y)
+        assert m.intercept_ == pytest.approx(0.5, abs=0.15)
+        assert m.coef_[0] == pytest.approx(1.2, abs=0.2)
+        assert m.coef_[1] == pytest.approx(-0.7, abs=0.2)
+
+    def test_predictions_always_positive(self):
+        rng = np.random.default_rng(3)
+        X = rng.random((100, 2))
+        y = rng.poisson(2.0, 100).astype(float)
+        m = PoissonRegressor().fit(X, y)
+        assert (m.predict(rng.normal(0, 10, size=(50, 2))) > 0).all()
+
+    def test_rejects_negative_targets(self):
+        with pytest.raises(ValueError, match="non-negative"):
+            PoissonRegressor().fit(np.zeros((2, 1)), np.array([1.0, -1.0]))
+
+    def test_converges_and_reports_iterations(self):
+        rng = np.random.default_rng(4)
+        X = rng.random((200, 1))
+        y = rng.poisson(np.exp(1 + X[:, 0])).astype(float)
+        m = PoissonRegressor(max_iter=50).fit(X, y)
+        assert 1 <= m.n_iter_ <= 50
+
+    def test_predict_before_fit(self):
+        with pytest.raises(RuntimeError):
+            PoissonRegressor().predict(np.zeros((1, 1)))
+
+    @pytest.mark.parametrize("kwargs", [{"alpha": -1.0}, {"max_iter": 0}])
+    def test_parameter_validation(self, kwargs):
+        with pytest.raises(ValueError):
+            PoissonRegressor(**kwargs)

@@ -1,0 +1,79 @@
+"""Property-based tests for the regression stack."""
+
+import numpy as np
+from hypothesis import given, settings, strategies as st
+from hypothesis.extra.numpy import arrays
+
+from repro.ml import (
+    BoostedDecisionTreeRegressor,
+    RegressionTree,
+    error_histogram,
+    half_split,
+)
+
+finite = st.floats(min_value=-100, max_value=100, allow_nan=False)
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    X=arrays(np.float64, shape=st.tuples(st.integers(5, 40), st.integers(1, 4)),
+             elements=finite),
+    seed=st.integers(0, 10),
+)
+def test_tree_predictions_bounded_by_targets(X, seed):
+    rng = np.random.default_rng(seed)
+    y = rng.normal(size=len(X))
+    tree = RegressionTree(max_depth=4).fit(X, y)
+    preds = tree.predict(X)
+    assert preds.min() >= y.min() - 1e-9
+    assert preds.max() <= y.max() + 1e-9
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    n=st.integers(10, 60),
+    d=st.integers(1, 3),
+    seed=st.integers(0, 100),
+)
+def test_tree_fits_training_data_at_least_as_well_as_mean(n, d, seed):
+    rng = np.random.default_rng(seed)
+    X = rng.random((n, d))
+    y = rng.normal(size=n)
+    tree = RegressionTree(max_depth=6).fit(X, y)
+    mse_tree = float(np.mean((tree.predict(X) - y) ** 2))
+    mse_mean = float(np.mean((y - y.mean()) ** 2))
+    assert mse_tree <= mse_mean + 1e-12
+
+
+@settings(max_examples=15, deadline=None)
+@given(seed=st.integers(0, 50))
+def test_boosting_training_error_nonincreasing(seed):
+    rng = np.random.default_rng(seed)
+    X = rng.random((80, 2))
+    y = rng.normal(size=80)
+    m = BoostedDecisionTreeRegressor(n_estimators=20, learning_rate=0.2).fit(X, y)
+    losses = np.array(m.train_loss_)
+    assert (np.diff(losses) <= 1e-9).all()
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    errors=arrays(
+        np.float64,
+        shape=st.integers(0, 200),
+        elements=st.floats(min_value=0, max_value=10, allow_nan=False),
+    )
+)
+def test_histogram_partitions_all_errors(errors):
+    h = error_histogram(errors, (0.01, 0.1, 1.0))
+    assert h.n_predictions == len(errors)
+    assert all(c >= 0 for c in h.counts)
+
+
+@settings(max_examples=40, deadline=None)
+@given(n=st.integers(2, 500), seed=st.integers(0, 20))
+def test_half_split_partitions(n, seed):
+    train, test = half_split(n, seed=seed)
+    assert len(train) + len(test) == n
+    assert len(np.intersect1d(train, test)) == 0
+    assert abs(len(train) - len(test)) <= 1

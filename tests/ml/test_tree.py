@@ -1,0 +1,99 @@
+"""CART regression tree."""
+
+import numpy as np
+import pytest
+
+from repro.ml import RegressionTree
+
+
+class TestFit:
+    def test_constant_target(self):
+        X = np.arange(10, dtype=float).reshape(-1, 1)
+        tree = RegressionTree().fit(X, np.full(10, 3.5))
+        assert np.allclose(tree.predict(X), 3.5)
+        assert tree.n_nodes == 1  # no split has positive gain
+
+    def test_recovers_step_function(self):
+        X = np.arange(20, dtype=float).reshape(-1, 1)
+        y = (X[:, 0] >= 10).astype(float)
+        tree = RegressionTree(max_depth=1).fit(X, y)
+        assert np.allclose(tree.predict(X), y)
+        assert tree.depth == 1
+
+    def test_picks_informative_feature(self):
+        rng = np.random.default_rng(0)
+        X = rng.random((200, 3))
+        y = (X[:, 1] > 0.5).astype(float)  # only feature 1 matters
+        tree = RegressionTree(max_depth=1).fit(X, y)
+        assert tree.feature[0] == 1
+
+    def test_max_depth_zero_is_stump(self):
+        X = np.arange(10, dtype=float).reshape(-1, 1)
+        tree = RegressionTree(max_depth=0).fit(X, X[:, 0])
+        assert tree.n_nodes == 1
+        assert np.allclose(tree.predict(X), X[:, 0].mean())
+
+    def test_min_samples_leaf_respected(self):
+        X = np.arange(10, dtype=float).reshape(-1, 1)
+        y = (X[:, 0] >= 9).astype(float)  # best split isolates one sample
+        tree = RegressionTree(max_depth=1, min_samples_leaf=3).fit(X, y)
+        if tree.feature[0] != -1:  # if it split at all
+            thr = tree.threshold[0]
+            left = np.count_nonzero(X[:, 0] <= thr)
+            assert left >= 3 and len(X) - left >= 3
+
+    def test_deeper_trees_fit_better(self):
+        rng = np.random.default_rng(1)
+        X = rng.random((300, 2))
+        y = np.sin(6 * X[:, 0]) + X[:, 1]
+        errs = []
+        for depth in (1, 3, 6):
+            tree = RegressionTree(max_depth=depth).fit(X, y)
+            errs.append(float(np.mean((tree.predict(X) - y) ** 2)))
+        assert errs[0] > errs[1] > errs[2]
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError, match="empty"):
+            RegressionTree().fit(np.zeros((0, 1)), np.zeros(0))
+
+    def test_rejects_mismatched_lengths(self):
+        with pytest.raises(ValueError, match="mismatch"):
+            RegressionTree().fit(np.zeros((3, 1)), np.zeros(2))
+
+    @pytest.mark.parametrize(
+        "kwargs", [{"max_depth": -1}, {"min_samples_split": 1}, {"min_samples_leaf": 0}]
+    )
+    def test_parameter_validation(self, kwargs):
+        with pytest.raises(ValueError):
+            RegressionTree(**kwargs)
+
+
+class TestPredict:
+    def test_before_fit_raises(self):
+        with pytest.raises(RuntimeError):
+            RegressionTree().predict(np.zeros((1, 1)))
+        with pytest.raises(RuntimeError):
+            RegressionTree().predict_one([0.0])
+
+    def test_predict_one_matches_batch(self):
+        rng = np.random.default_rng(2)
+        X = rng.random((100, 4))
+        y = X @ np.array([1.0, -2.0, 0.5, 0.0])
+        tree = RegressionTree(max_depth=5).fit(X, y)
+        batch = tree.predict(X[:10])
+        for i in range(10):
+            assert tree.predict_one(X[i]) == pytest.approx(batch[i])
+
+    def test_predictions_within_target_range(self):
+        rng = np.random.default_rng(3)
+        X = rng.random((200, 3))
+        y = rng.random(200)
+        tree = RegressionTree(max_depth=8).fit(X, y)
+        preds = tree.predict(rng.random((50, 3)))
+        assert preds.min() >= y.min() - 1e-12
+        assert preds.max() <= y.max() + 1e-12
+
+    def test_single_row_input(self):
+        X = np.arange(10, dtype=float).reshape(-1, 1)
+        tree = RegressionTree().fit(X, X[:, 0])
+        assert tree.predict(np.array([5.0])).shape == (1,)

@@ -1,0 +1,101 @@
+"""Multi-accelerator extension (1-8 devices)."""
+
+import pytest
+
+from repro.machines import EMIL
+from repro.runtime import (
+    DeviceAssignment,
+    MultiDeviceConfiguration,
+    MultiDeviceRuntime,
+)
+
+
+def two_device_config(host_share=40.0):
+    each = (100.0 - host_share) / 2
+    return MultiDeviceConfiguration(
+        host_threads=48,
+        host_affinity="scatter",
+        host_share=host_share,
+        devices=(
+            DeviceAssignment(240, "balanced", each),
+            DeviceAssignment(240, "balanced", each),
+        ),
+    )
+
+
+class TestConfiguration:
+    def test_shares_must_sum_to_100(self):
+        with pytest.raises(ValueError, match="sum to 100"):
+            MultiDeviceConfiguration(
+                host_threads=48,
+                host_affinity="scatter",
+                host_share=50.0,
+                devices=(DeviceAssignment(240, "balanced", 40.0),),
+            )
+
+    def test_assignment_validation(self):
+        with pytest.raises(ValueError):
+            DeviceAssignment(0, "balanced", 10.0)
+        with pytest.raises(ValueError):
+            DeviceAssignment(60, "balanced", 101.0)
+
+
+class TestRuntime:
+    def test_outcome_total_is_max_over_all_parts(self):
+        rt = MultiDeviceRuntime(EMIL.with_devices(2), seed=0)
+        out = rt.run(two_device_config(), 3170.0)
+        assert out.total == max(out.t_host, *out.t_devices)
+        assert len(out.t_devices) == 2
+
+    def test_device_count_mismatch_rejected(self):
+        rt = MultiDeviceRuntime(EMIL.with_devices(2), seed=0)
+        single = MultiDeviceConfiguration(
+            host_threads=48,
+            host_affinity="scatter",
+            host_share=60.0,
+            devices=(DeviceAssignment(240, "balanced", 40.0),),
+        )
+        with pytest.raises(ValueError, match="devices"):
+            rt.run(single, 1000.0)
+
+    def test_zero_share_device_is_idle(self):
+        rt = MultiDeviceRuntime(EMIL.with_devices(2), seed=0)
+        cfg = MultiDeviceConfiguration(
+            host_threads=48,
+            host_affinity="scatter",
+            host_share=60.0,
+            devices=(
+                DeviceAssignment(240, "balanced", 40.0),
+                DeviceAssignment(240, "balanced", 0.0),
+            ),
+        )
+        out = rt.run(cfg, 1000.0)
+        assert out.t_devices[1] == 0.0
+
+    def test_proportional_shares_sum_to_100(self):
+        rt = MultiDeviceRuntime(EMIL.with_devices(3), seed=0)
+        cfg = rt.proportional_shares(48, "scatter", 240, "balanced", 3170.0)
+        total = cfg.host_share + sum(d.share for d in cfg.devices)
+        assert total == pytest.approx(100.0)
+
+    def test_more_devices_reduce_execution_time(self):
+        times = []
+        for n in (1, 2, 4):
+            rt = MultiDeviceRuntime(EMIL.with_devices(n), seed=0)
+            cfg = rt.proportional_shares(48, "scatter", 240, "balanced", 3170.0)
+            times.append(rt.run(cfg, 3170.0).total)
+        assert times[0] > times[1] > times[2]
+
+    def test_proportional_beats_naive_equal_split(self):
+        rt = MultiDeviceRuntime(EMIL.with_devices(2), seed=0)
+        prop = rt.proportional_shares(48, "scatter", 240, "balanced", 3170.0)
+        naive = MultiDeviceConfiguration(
+            host_threads=48,
+            host_affinity="scatter",
+            host_share=100.0 / 3,
+            devices=(
+                DeviceAssignment(240, "balanced", 100.0 / 3),
+                DeviceAssignment(240, "balanced", 100.0 - 2 * 100.0 / 3),
+            ),
+        )
+        assert rt.run(prop, 3170.0).total < rt.run(naive, 3170.0).total

@@ -1,0 +1,87 @@
+"""Divisible-workload partitioning."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.runtime import Partition, contiguous_spans, split_elements, split_shares
+
+
+class TestPartition:
+    def test_shares(self):
+        p = Partition(1000.0, 62.5)
+        assert p.host_mb == pytest.approx(625.0)
+        assert p.device_mb == pytest.approx(375.0)
+        assert p.device_fraction == pytest.approx(37.5)
+
+    def test_parts_sum_exactly(self):
+        p = Partition(3170.0, 33.333333)
+        assert p.host_mb + p.device_mb == pytest.approx(3170.0, abs=1e-12)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            Partition(-1.0, 50.0)
+        with pytest.raises(ValueError):
+            Partition(10.0, 101.0)
+
+
+class TestSplitElements:
+    def test_sums_to_n(self):
+        h, d = split_elements(1001, 60.0)
+        assert h + d == 1001
+
+    def test_extremes(self):
+        assert split_elements(100, 0.0) == (0, 100)
+        assert split_elements(100, 100.0) == (100, 0)
+
+    @given(n=st.integers(0, 10_000), f=st.floats(0, 100, allow_nan=False))
+    @settings(max_examples=100, deadline=None)
+    def test_property_sums_and_bounds(self, n, f):
+        h, d = split_elements(n, f)
+        assert h + d == n
+        assert 0 <= h <= n
+
+
+class TestSplitShares:
+    def test_proportionality(self):
+        assert split_shares(100, [1.0, 1.0]) == [50, 50]
+        assert split_shares(100, [3.0, 1.0]) == [75, 25]
+
+    def test_largest_remainder_rounding(self):
+        parts = split_shares(10, [1.0, 1.0, 1.0])
+        assert sum(parts) == 10
+        assert sorted(parts) == [3, 3, 4]
+
+    def test_zero_share_gets_nothing(self):
+        assert split_shares(10, [1.0, 0.0]) == [10, 0]
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            split_shares(10, [])
+        with pytest.raises(ValueError):
+            split_shares(10, [0.0, 0.0])
+        with pytest.raises(ValueError):
+            split_shares(10, [-1.0, 2.0])
+        with pytest.raises(ValueError):
+            split_shares(-1, [1.0])
+
+    @given(
+        n=st.integers(0, 5000),
+        shares=st.lists(st.floats(0, 10, allow_nan=False), min_size=1, max_size=9),
+    )
+    @settings(max_examples=100, deadline=None)
+    def test_property_exact_total(self, n, shares):
+        if sum(shares) == 0:
+            return
+        parts = split_shares(n, shares)
+        assert sum(parts) == n
+        assert all(p >= 0 for p in parts)
+
+
+class TestContiguousSpans:
+    def test_spans_cover_range(self):
+        spans = contiguous_spans(10, [3, 3, 4])
+        assert spans == [(0, 3), (3, 6), (6, 10)]
+
+    def test_rejects_bad_total(self):
+        with pytest.raises(ValueError, match="sum"):
+            contiguous_spans(10, [3, 3])

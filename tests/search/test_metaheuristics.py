@@ -1,0 +1,124 @@
+"""Baseline metaheuristics: budget discipline and search quality."""
+
+import numpy as np
+import pytest
+
+from repro.core import ParameterSpace
+from repro.search import (
+    GeneticAlgorithm,
+    HillClimbing,
+    RandomSearch,
+    TabuSearch,
+    crossover,
+)
+
+SPACE = ParameterSpace(
+    host_threads=(2, 6, 12, 24, 36, 48),
+    device_threads=(2, 4, 8, 16, 30, 60, 120, 180, 240),
+)
+
+ALL_SEARCHERS = [RandomSearch, HillClimbing, TabuSearch, GeneticAlgorithm]
+
+
+def objective(config) -> float:
+    """Smooth landscape: optimum at 48 threads, 240 device threads, 60%."""
+    return (
+        0.5
+        + abs(config.host_fraction - 60.0) / 100.0
+        + (48 - config.host_threads) / 100.0
+        + (240 - config.device_threads) / 1000.0
+    )
+
+
+@pytest.mark.parametrize("cls", ALL_SEARCHERS)
+class TestCommonContract:
+    def test_budget_respected_exactly(self, cls):
+        result = cls(SPACE, seed=0).run(objective, budget=97)
+        assert result.evaluations == 97
+        assert len(result.trace) == 97
+
+    def test_trace_monotone_nonincreasing(self, cls):
+        result = cls(SPACE, seed=1).run(objective, budget=200)
+        trace = result.trace
+        assert all(a >= b for a, b in zip(trace, trace[1:]))
+        assert trace[-1] == result.best_value
+
+    def test_best_config_is_valid_and_consistent(self, cls):
+        result = cls(SPACE, seed=2).run(objective, budget=150)
+        assert result.best_config in SPACE
+        assert objective(result.best_config) == pytest.approx(result.best_value)
+
+    def test_deterministic_by_seed(self, cls):
+        a = cls(SPACE, seed=3).run(objective, budget=100)
+        b = cls(SPACE, seed=3).run(objective, budget=100)
+        assert a.best_value == b.best_value
+        assert a.best_config == b.best_config
+
+    def test_best_value_at_checkpoints(self, cls):
+        result = cls(SPACE, seed=4).run(objective, budget=100)
+        assert result.best_value_at(100) == result.best_value
+        assert result.best_value_at(10) >= result.best_value_at(100)
+
+    def test_rejects_zero_budget(self, cls):
+        with pytest.raises(ValueError):
+            cls(SPACE, seed=0).run(objective, budget=0)
+
+
+class TestSearchQuality:
+    def test_informed_methods_beat_random_on_average(self):
+        budgets = 300
+        rand = np.mean(
+            [RandomSearch(SPACE, seed=s).run(objective, budgets).best_value
+             for s in range(5)]
+        )
+        for cls in (HillClimbing, TabuSearch, GeneticAlgorithm):
+            informed = np.mean(
+                [cls(SPACE, seed=s).run(objective, budgets).best_value
+                 for s in range(5)]
+            )
+            assert informed <= rand * 1.02, cls.__name__
+
+    def test_hill_climbing_restarts_on_stagnation(self):
+        hc = HillClimbing(SPACE, seed=0, patience=5)
+        result = hc.run(objective, budget=400)
+        assert result.best_value < 0.55  # reaches near-optimal
+
+
+class TestGeneticOperators:
+    def test_crossover_inherits_every_field_from_a_parent(self):
+        rng = np.random.default_rng(0)
+        a = SPACE.random_config(rng)
+        b = SPACE.random_config(rng)
+        for _ in range(20):
+            child = crossover(a, b, rng)
+            assert child.host_threads in (a.host_threads, b.host_threads)
+            assert child.host_affinity in (a.host_affinity, b.host_affinity)
+            assert child.device_threads in (a.device_threads, b.device_threads)
+            assert child.device_affinity in (a.device_affinity, b.device_affinity)
+            assert child.host_fraction in (a.host_fraction, b.host_fraction)
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"population": 1},
+            {"mutation_rate": 1.5},
+            {"tournament": 0},
+            {"elite": 24},
+        ],
+    )
+    def test_parameter_validation(self, kwargs):
+        with pytest.raises(ValueError):
+            GeneticAlgorithm(SPACE, **kwargs)
+
+
+class TestTabuSpecifics:
+    @pytest.mark.parametrize("kwargs", [{"tabu_size": 0}, {"neighborhood": 0}])
+    def test_parameter_validation(self, kwargs):
+        with pytest.raises(ValueError):
+            TabuSearch(SPACE, **kwargs)
+
+
+class TestHillClimbingSpecifics:
+    def test_patience_validation(self):
+        with pytest.raises(ValueError):
+            HillClimbing(SPACE, patience=0)
