@@ -23,7 +23,13 @@ def main() -> None:
 
     size_mb = 3170.0  # the human genome of the paper's evaluation
     print(f"Tuning for a {size_mb:g} MB workload with SAML (1000 iterations)...")
-    outcome = tuner.tune(size_mb, method="SAML", iterations=1000)
+    # Batched evaluation: `engine` picks how candidate configurations are
+    # scored — "serial" (one call each), "cached" (memoize annealing
+    # revisits), "batched" (vectorized ML predictions / process pool), or
+    # "cached+batched".  Results are identical across engines for the
+    # deterministic evaluators used here; only throughput differs.  See
+    # src/repro/core/engine.py and the README's "Batched evaluation".
+    outcome = tuner.tune(size_mb, method="SAML", iterations=1000, engine="cached")
 
     cfg = outcome.config
     print(f"  suggested configuration : {cfg.describe()}")

@@ -2,8 +2,13 @@
 
 Artifacts: ``fig2``, ``fig5``, ``fig6``, ``fig7``, ``fig8``, ``table2``,
 ``table4``, ``table5``, ``table6``, ``table7``, ``table8``, ``table9``,
-``fig9``, ``summary``, or ``all``.  Everything prints as plain-text
-tables mirroring the paper's figures and tables.
+``fig9``, ``summary``, ``tune``, or ``all``.  Everything prints as
+plain-text tables mirroring the paper's figures and tables.
+
+``tune`` runs one optimization method end-to-end and prints the
+suggested system configuration; ``--engine``/``--batch-size`` select
+the evaluation backend (serial / cached / batched — see
+:mod:`repro.core.engine`) for it and for the fig9/table studies.
 """
 
 from __future__ import annotations
@@ -34,7 +39,7 @@ ARTIFACTS = (
     "fig2", "fig5", "fig6", "fig7", "fig8", "fig9",
     "table1", "table2", "table3",
     "table4", "table5", "table6", "table7", "table8", "table9",
-    "summary", "all",
+    "summary", "tune", "all",
 )
 
 
@@ -135,6 +140,41 @@ def _print_accuracy_table(t, title: str) -> None:
     print()
 
 
+def _run_tune(ctx, args, engine) -> int:
+    """One end-to-end tuning run: method + engine -> suggested config."""
+    from .core.methods import run_method
+
+    method = args.method.upper()
+    try:
+        ml = ctx.ml() if method in ("EML", "SAML") else None
+        result = run_method(
+            method,
+            ctx.space,
+            ctx.sim,
+            args.size_mb,
+            ml=ml,
+            iterations=args.iterations,
+            seed=args.seed,
+            engine=engine,
+        )
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    print(f"{method} suggestion for a {args.size_mb:g} MB workload:")
+    print(f"  configuration      : {result.config.describe()}")
+    print(f"  measured time      : {result.measured_time:.3f} s")
+    print(f"  search evaluations : {result.search_evaluations}")
+    print(f"  timed experiments  : {result.experiments}")
+    if engine is not None:
+        stats = engine.stats
+        print(
+            f"  engine             : {args.engine} "
+            f"(batches={stats.batches}, evaluations={stats.evaluations}, "
+            f"cache hits={stats.cache_hits})"
+        )
+    return 0
+
+
 def main(argv: list[str] | None = None) -> int:
     """Entry point; returns a process exit code."""
     parser = argparse.ArgumentParser(
@@ -146,12 +186,47 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument(
         "--seeds", type=int, default=5, help="annealing repetitions for fig9/tables 6-9"
     )
+    parser.add_argument(
+        "--engine",
+        default=None,
+        help="evaluation backend: serial, cached, batched, or cached+batched "
+        "(default: call evaluators directly)",
+    )
+    parser.add_argument(
+        "--batch-size", type=int, default=64,
+        help="configurations per batch for the batched engine",
+    )
+    parser.add_argument(
+        "--method", default="SAML", help="optimization method for `tune` (Table II)"
+    )
+    parser.add_argument(
+        "--size-mb", type=float, default=3170.0, help="workload size for `tune` [MB]"
+    )
+    parser.add_argument(
+        "--iterations", type=int, default=1000,
+        help="annealing iterations for `tune` with SAM/SAML",
+    )
     args = parser.parse_args(argv)
+
+    engine = None
+    if args.engine is not None:
+        from .core.engine import make_engine
+
+        try:
+            engine = make_engine(args.engine, batch_size=args.batch_size)
+        except ValueError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
 
     t0 = time.time()
     want = args.artifact
     needs_ctx = want not in ("table1", "table2", "table3")
     ctx = default_context(args.seed) if needs_ctx else None
+
+    if want == "tune":
+        code = _run_tune(ctx, args, engine)
+        print(f"[done in {time.time() - t0:.1f}s]", file=sys.stderr)
+        return code
 
     if want in ("table1", "all"):
         _print_table1()
@@ -180,7 +255,7 @@ def main(argv: list[str] | None = None) -> int:
     if want in ("table5", "all"):
         _print_accuracy_table(table5(ctx), "Table V: device prediction accuracy")
     if want in ("fig9", "table6", "table7", "table8", "table9", "summary", "all"):
-        study = run_iteration_study(ctx, n_seeds=args.seeds)
+        study = run_iteration_study(ctx, n_seeds=args.seeds, engine=engine)
         hdr = ["DNA", *[str(c) for c in CHECKPOINTS]]
         if want in ("fig9", "all"):
             from .experiments import line_plot

@@ -10,12 +10,27 @@ from .annealing import (
     cooling_rate_for,
 )
 from .energy import ConfigurationEvaluator, Energy
+from .engine import (
+    ENGINE_NAMES,
+    BatchedEngine,
+    CachedEngine,
+    EngineStats,
+    EvaluationEngine,
+    SerialEngine,
+    make_engine,
+)
 from .enumeration import (
     EnumerationResult,
     enumerate_best,
     enumerate_best_separable,
 )
-from .evaluators import MeasurementEvaluator, MLEvaluator, make_objective
+from .evaluators import (
+    EnergyObjective,
+    EvaluatorObjective,
+    MeasurementEvaluator,
+    MLEvaluator,
+    make_objective,
+)
 from .methods import (
     METHOD_PROPERTIES,
     MethodResult,
@@ -55,9 +70,18 @@ __all__ = [
     "cooling_rate_for",
     "ConfigurationEvaluator",
     "Energy",
+    "ENGINE_NAMES",
+    "BatchedEngine",
+    "CachedEngine",
+    "EngineStats",
+    "EvaluationEngine",
+    "SerialEngine",
+    "make_engine",
     "EnumerationResult",
     "enumerate_best",
     "enumerate_best_separable",
+    "EnergyObjective",
+    "EvaluatorObjective",
     "MeasurementEvaluator",
     "MLEvaluator",
     "make_objective",

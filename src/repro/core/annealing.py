@@ -103,6 +103,12 @@ class SimulatedAnnealing:
         Eq. 3 rate; ignored when :meth:`run` receives ``iterations``.
     seed:
         RNG seed (annealing is stochastic; the evaluation averages runs).
+    engine:
+        Optional :class:`~repro.core.engine.EvaluationEngine` the
+        candidate evaluations are routed through.  Annealing proposes
+        one neighbor at a time, so batching cannot widen the batch, but
+        a cached backend pays off on the frequent revisits; with ``None``
+        the evaluator is called directly (historical behavior).
     """
 
     def __init__(
@@ -113,6 +119,7 @@ class SimulatedAnnealing:
         stop_temperature: float = 1e-3,
         cooling_rate: float = 0.005,
         seed: int = 0,
+        engine=None,
     ) -> None:
         if not 0 < stop_temperature < initial_temperature:
             raise ValueError("need 0 < stop_temperature < initial_temperature")
@@ -123,6 +130,7 @@ class SimulatedAnnealing:
         self.stop_temperature = stop_temperature
         self.cooling_rate = cooling_rate
         self.seed = seed
+        self.engine = engine
 
     def run(
         self,
@@ -144,9 +152,16 @@ class SimulatedAnnealing:
             if iterations is not None
             else self.cooling_rate
         )
+        if self.engine is not None:
+            engine = self.engine
+
+            def score(config: SystemConfiguration) -> Energy:
+                return engine.evaluate(evaluate, config)
+        else:
+            score = evaluate
 
         current = initial if initial is not None else self.space.random_config(rng)
-        current_energy = evaluate(current)
+        current_energy = score(current)
         best, best_energy = current, current_energy
 
         history: list[AnnealingStep] = []
@@ -155,7 +170,7 @@ class SimulatedAnnealing:
         while temperature > self.stop_temperature:
             it += 1
             candidate = self.space.neighbor(current, rng)
-            candidate_energy = evaluate(candidate)
+            candidate_energy = score(candidate)
             accepted = False
             delta = candidate_energy.value - current_energy.value
             if delta < 0:

@@ -39,18 +39,25 @@ def enumerate_best(
     size_mb: float,
     *,
     keep_all: bool = False,
+    engine=None,
+    batch_size: int = 512,
 ) -> EnumerationResult | tuple[EnumerationResult, list[tuple[SystemConfiguration, Energy]]]:
     """Score every configuration; return the best (optionally all).
 
     Ties break toward the earlier configuration in Table I order, making
-    the result deterministic.
+    the result deterministic.  With an ``engine`` the walk proceeds in
+    ``batch_size`` chunks through :class:`~repro.core.engine` batch
+    evaluation — on the ML evaluator that vectorizes the whole space
+    walk instead of scoring one configuration at a time — with identical
+    results (same configurations, same order, same tie-breaks).
     """
     best_config: SystemConfiguration | None = None
     best_energy: Energy | None = None
     all_rows: list[tuple[SystemConfiguration, Energy]] = []
     count = 0
-    for config in space.iter_configs():
-        energy = evaluator.evaluate(config, size_mb)
+    for config, energy in _scored_configs(
+        space, evaluator, size_mb, engine=engine, batch_size=batch_size
+    ):
         count += 1
         if keep_all:
             all_rows.append((config, energy))
@@ -61,6 +68,32 @@ def enumerate_best(
     if keep_all:
         return result, all_rows
     return result
+
+
+def _scored_configs(
+    space: ParameterSpace,
+    evaluator: ConfigurationEvaluator,
+    size_mb: float,
+    *,
+    engine,
+    batch_size: int,
+):
+    """Yield ``(config, energy)`` in Table I order, batched when engined."""
+    if engine is None:
+        for config in space.iter_configs():
+            yield config, evaluator.evaluate(config, size_mb)
+        return
+    from .evaluators import EnergyObjective
+
+    objective = EnergyObjective(evaluator, size_mb)
+    chunk: list[SystemConfiguration] = []
+    for config in space.iter_configs():
+        chunk.append(config)
+        if len(chunk) >= batch_size:
+            yield from zip(chunk, engine.evaluate_batch(objective, chunk))
+            chunk = []
+    if chunk:
+        yield from zip(chunk, engine.evaluate_batch(objective, chunk))
 
 
 def enumerate_best_separable(

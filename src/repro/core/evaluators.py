@@ -14,7 +14,7 @@ scored:
 
 from __future__ import annotations
 
-from typing import Callable
+from typing import Sequence
 
 import numpy as np
 
@@ -69,6 +69,17 @@ class MeasurementEvaluator:
         self._cache[key] = energy
         self._evaluations += 1
         return energy
+
+    def evaluate_batch(
+        self, configs: Sequence[SystemConfiguration], size_mb: float
+    ) -> list[Energy]:
+        """Measure a batch of configurations (each counted/cached as usual).
+
+        Measurements are inherently serial experiments, so this is a
+        convenience loop; the batched protocol exists so engines can
+        treat measurement- and ML-backed evaluators uniformly.
+        """
+        return [self.evaluate(config, size_mb) for config in configs]
 
 
 class MLEvaluator:
@@ -155,14 +166,132 @@ class MLEvaluator:
         )
         return Energy(t_host, t_device)
 
+    def _predict_many(
+        self,
+        model: Regressor,
+        scaler: Standardizer | None,
+        rows: list[list[float]],
+    ) -> list[float]:
+        """Predict many rows with one ensemble traversal for all misses.
 
-def make_objective(
-    evaluator, size_mb: float
-) -> Callable[[SystemConfiguration], float]:
+        Bit-identical to calling :meth:`_predict` per row: the tree
+        ensembles produce the same float64 values on the scalar and the
+        vectorized path (same leaves, same accumulation order), and both
+        paths share the side cache and the non-negativity clamp.
+        """
+        values: list[float | None] = [None] * len(rows)
+        miss_pos: list[int] = []
+        miss_rows: list[list[float]] = []
+        for j, row in enumerate(rows):
+            hit = self._side_cache.get((id(model), tuple(row)))
+            if hit is not None:
+                values[j] = hit
+            else:
+                miss_pos.append(j)
+                miss_rows.append(row)
+        if miss_rows:
+            X = np.asarray(miss_rows, dtype=np.float64)
+            if scaler is not None:
+                X = scaler.transform(X)
+            raw = model.predict(X)
+            for j, r in zip(miss_pos, raw):
+                value = float(max(float(r), 1e-6))
+                self._side_cache[(id(model), tuple(rows[j]))] = value
+                values[j] = value
+        return values  # type: ignore[return-value]
+
+    def evaluate_batch(
+        self, configs: Sequence[SystemConfiguration], size_mb: float
+    ) -> list[Energy]:
+        """Predict a whole candidate batch with vectorized ensembles.
+
+        Returns exactly what per-config :meth:`evaluate` calls would,
+        but each side's uncached rows go through ``model.predict`` as
+        one design matrix instead of one Python tree walk per row —
+        the hot path :class:`~repro.core.engine.BatchedEngine` exploits.
+        """
+        configs = list(configs)
+        self._evaluations += len(configs)
+        n = len(configs)
+        t_host = [0.0] * n
+        t_device = [0.0] * n
+        host_pos: list[int] = []
+        host_rows: list[list[float]] = []
+        device_pos: list[int] = []
+        device_rows: list[list[float]] = []
+        for i, config in enumerate(configs):
+            host_mb = size_mb * config.host_fraction / 100.0
+            device_mb = size_mb - host_mb
+            if host_mb > 0:
+                host_pos.append(i)
+                host_rows.append(
+                    encode_host_row(config.host_threads, config.host_affinity, host_mb)
+                )
+            if device_mb > 0:
+                device_pos.append(i)
+                device_rows.append(
+                    encode_device_row(
+                        config.device_threads, config.device_affinity, device_mb
+                    )
+                )
+        if host_rows:
+            for i, value in zip(
+                host_pos, self._predict_many(self.host_model, self.host_scaler, host_rows)
+            ):
+                t_host[i] = value
+        if device_rows:
+            for i, value in zip(
+                device_pos,
+                self._predict_many(self.device_model, self.device_scaler, device_rows),
+            ):
+                t_device[i] = value
+        return [Energy(th, td) for th, td in zip(t_host, t_device)]
+
+
+class EnergyObjective:
+    """``config -> Energy`` adapter with batch support.
+
+    Bridges an evaluator to the engine protocol for callers that need
+    the per-side breakdown (the annealer, the enumerator).  Exposes
+    ``evaluate_batch`` so :class:`~repro.core.engine.BatchedEngine` can
+    use the evaluator's vectorized path when it has one.
+    """
+
+    def __init__(self, evaluator, size_mb: float) -> None:
+        self.evaluator = evaluator
+        self.size_mb = size_mb
+
+    def __call__(self, config: SystemConfiguration) -> Energy:
+        return self.evaluator.evaluate(config, self.size_mb)
+
+    def _energies(self, configs: Sequence[SystemConfiguration]) -> list[Energy]:
+        batch = getattr(self.evaluator, "evaluate_batch", None)
+        if batch is None:
+            return [self.evaluator.evaluate(config, self.size_mb) for config in configs]
+        return batch(configs, self.size_mb)
+
+    def evaluate_batch(self, configs: Sequence[SystemConfiguration]) -> list[Energy]:
+        return self._energies(configs)
+
+
+class EvaluatorObjective(EnergyObjective):
+    """``config -> float`` adapter (Eq. 2 scalar) with batch support.
+
+    The baseline metaheuristics in :mod:`repro.search` minimize plain
+    floats; this collapses each :class:`Energy` to its ``value``.
+    """
+
+    def __call__(self, config: SystemConfiguration) -> float:
+        return self.evaluator.evaluate(config, self.size_mb).value
+
+    def evaluate_batch(self, configs: Sequence[SystemConfiguration]) -> list[float]:
+        return [e.value for e in self._energies(configs)]
+
+
+def make_objective(evaluator, size_mb: float) -> EvaluatorObjective:
     """Adapt an evaluator to the plain ``config -> float`` objective used
-    by the baseline metaheuristics in :mod:`repro.search`."""
+    by the baseline metaheuristics in :mod:`repro.search`.
 
-    def objective(config: SystemConfiguration) -> float:
-        return evaluator.evaluate(config, size_mb).value
-
-    return objective
+    The returned objective also exposes ``evaluate_batch`` so evaluation
+    engines can score whole candidate batches at once."""
+    return EvaluatorObjective(evaluator, size_mb)

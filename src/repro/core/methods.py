@@ -18,8 +18,9 @@ from dataclasses import dataclass
 from ..machines.simulator import PlatformSimulator
 from .annealing import AnnealingResult, SimulatedAnnealing
 from .energy import Energy
+from .engine import EvaluationEngine
 from .enumeration import enumerate_best, enumerate_best_separable
-from .evaluators import MeasurementEvaluator, MLEvaluator
+from .evaluators import EnergyObjective, MeasurementEvaluator, MLEvaluator
 from .params import ParameterSpace, SystemConfiguration
 
 #: Table II, verbatim.
@@ -86,13 +87,20 @@ def run_em(
     size_mb: float,
     *,
     separable_fast_path: bool = True,
+    engine: EvaluationEngine | None = None,
 ) -> MethodResult:
-    """Enumeration + Measurements: certain optimum, maximal effort."""
+    """Enumeration + Measurements: certain optimum, maximal effort.
+
+    The default separable fast path computes the per-side measurement
+    grids directly and never consults ``engine`` (its stats stay at
+    zero for EM); the engine only backs the faithful per-configuration
+    walk (``separable_fast_path=False``).
+    """
     if separable_fast_path:
         res = enumerate_best_separable(space, sim, size_mb)
     else:
         evaluator = MeasurementEvaluator(sim)
-        res = enumerate_best(space, evaluator, size_mb)  # type: ignore[assignment]
+        res = enumerate_best(space, evaluator, size_mb, engine=engine)  # type: ignore[assignment]
     return MethodResult(
         method="EM",
         config=res.best_config,
@@ -108,13 +116,16 @@ def run_eml(
     ml: MLEvaluator,
     sim: PlatformSimulator,
     size_mb: float,
+    *,
+    engine: EvaluationEngine | None = None,
 ) -> MethodResult:
     """Enumeration + Machine Learning: full space walk on predictions.
 
     Consumes zero search-time experiments (plus one final measurement of
-    the suggested configuration for reporting).
+    the suggested configuration for reporting).  A batched ``engine``
+    vectorizes the 19 926-prediction walk.
     """
-    res = enumerate_best(space, ml, size_mb)
+    res = enumerate_best(space, ml, size_mb, engine=engine)
     measured = _measure_config(sim, res.best_config, size_mb)
     return MethodResult(
         method="EML",
@@ -134,13 +145,14 @@ def run_sam(
     iterations: int = 1000,
     seed: int = 0,
     initial_temperature: float = 1.0,
+    engine: EvaluationEngine | None = None,
 ) -> MethodResult:
     """Simulated Annealing + Measurements."""
     evaluator = MeasurementEvaluator(sim)
-    sa = SimulatedAnnealing(space, seed=seed, initial_temperature=initial_temperature)
-    run = sa.run(
-        lambda c: evaluator.evaluate(c, size_mb), iterations=iterations
+    sa = SimulatedAnnealing(
+        space, seed=seed, initial_temperature=initial_temperature, engine=engine
     )
+    run = sa.run(EnergyObjective(evaluator, size_mb), iterations=iterations)
     return MethodResult(
         method="SAM",
         config=run.best_config,
@@ -161,14 +173,17 @@ def run_saml(
     iterations: int = 1000,
     seed: int = 0,
     initial_temperature: float = 1.0,
+    engine: EvaluationEngine | None = None,
 ) -> MethodResult:
     """Simulated Annealing + Machine Learning: the paper's headline method.
 
     Searches entirely on predictions; only the finally suggested
     configuration is measured.
     """
-    sa = SimulatedAnnealing(space, seed=seed, initial_temperature=initial_temperature)
-    run = sa.run(lambda c: ml.evaluate(c, size_mb), iterations=iterations)
+    sa = SimulatedAnnealing(
+        space, seed=seed, initial_temperature=initial_temperature, engine=engine
+    )
+    run = sa.run(EnergyObjective(ml, size_mb), iterations=iterations)
     measured = _measure_config(sim, run.best_config, size_mb)
     return MethodResult(
         method="SAML",
@@ -190,19 +205,27 @@ def run_method(
     ml: MLEvaluator | None = None,
     iterations: int = 1000,
     seed: int = 0,
+    engine: EvaluationEngine | None = None,
 ) -> MethodResult:
-    """Dispatch by method name ("EM", "EML", "SAM", "SAML")."""
+    """Dispatch by method name ("EM", "EML", "SAM", "SAML").
+
+    ``engine`` selects the evaluation backend for the search phase (see
+    :mod:`repro.core.engine`); method results are engine-independent for
+    the deterministic evaluators used here.
+    """
     method = method.upper()
     if method == "EM":
-        return run_em(space, sim, size_mb)
+        return run_em(space, sim, size_mb, engine=engine)
     if method == "EML":
         if ml is None:
             raise ValueError("EML requires a trained MLEvaluator")
-        return run_eml(space, ml, sim, size_mb)
+        return run_eml(space, ml, sim, size_mb, engine=engine)
     if method == "SAM":
-        return run_sam(space, sim, size_mb, iterations=iterations, seed=seed)
+        return run_sam(space, sim, size_mb, iterations=iterations, seed=seed, engine=engine)
     if method == "SAML":
         if ml is None:
             raise ValueError("SAML requires a trained MLEvaluator")
-        return run_saml(space, ml, sim, size_mb, iterations=iterations, seed=seed)
+        return run_saml(
+            space, ml, sim, size_mb, iterations=iterations, seed=seed, engine=engine
+        )
     raise ValueError(f"unknown method {method!r}; expected EM/EML/SAM/SAML")

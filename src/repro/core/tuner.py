@@ -20,6 +20,7 @@ from ..machines.perfmodel import DNA_SCAN, WorkloadProfile
 from ..machines.simulator import PlatformSimulator
 from ..machines.spec import EMIL, PlatformSpec
 from .energy import Energy
+from .engine import EvaluationEngine, make_engine
 from .methods import MethodResult, run_method
 from .params import (
     DEFAULT_SPACE,
@@ -108,14 +109,18 @@ class WorkDistributionTuner:
     # -- training ----------------------------------------------------------
 
     def train(
-        self, *, sizes_mb: tuple[float, ...] = DEFAULT_TRAINING_SIZES_MB
+        self,
+        *,
+        sizes_mb: tuple[float, ...] = DEFAULT_TRAINING_SIZES_MB,
+        processes: int | None = None,
     ) -> TrainedModels:
         """Generate the training grid and fit the per-side predictors.
 
         Expensive (the paper's grid is 7200 experiments) but done once;
         afterwards :meth:`tune` with SAML/EML costs no experiments.
+        ``processes`` parallelizes the batched measurement campaign.
         """
-        data = generate_training_data(self.sim, sizes_mb=sizes_mb)
+        data = generate_training_data(self.sim, sizes_mb=sizes_mb, processes=processes)
         self._models = train_models(data, seed=self.seed)
         return self._models
 
@@ -182,6 +187,8 @@ class WorkDistributionTuner:
         method: str = "SAML",
         iterations: int = 1000,
         seed: int | None = None,
+        engine: str | EvaluationEngine | None = None,
+        batch_size: int = 64,
     ) -> TuningOutcome:
         """Suggest a configuration for an input of ``size_mb`` megabytes.
 
@@ -189,9 +196,17 @@ class WorkDistributionTuner:
         outcome carries measured comparisons against the paper's two
         baselines: host-only with all 48 threads and device-only with
         all 240 threads.
+
+        ``engine`` selects the evaluation backend for the search phase —
+        an :class:`~repro.core.engine.EvaluationEngine` instance or one
+        of the :func:`~repro.core.engine.make_engine` names ("serial",
+        "cached", "batched", "cached+batched"); results are identical
+        across backends, only throughput differs.
         """
         if size_mb <= 0:
             raise ValueError(f"size_mb must be positive, got {size_mb}")
+        if isinstance(engine, str):
+            engine = make_engine(engine, batch_size=batch_size)
         ml = None
         if method.upper() in ("EML", "SAML"):
             ml = self.models.evaluator()
@@ -203,6 +218,7 @@ class WorkDistributionTuner:
             ml=ml,
             iterations=iterations,
             seed=self.seed if seed is None else seed,
+            engine=engine,
         )
         host_cfg = host_only_config(max(self.space.host_threads))
         device_cfg = device_only_config(max(self.space.device_threads))

@@ -150,8 +150,14 @@ def study_genome(
     *,
     checkpoints: tuple[int, ...] = CHECKPOINTS,
     n_seeds: int = 5,
+    engine=None,
 ) -> GenomeStudy:
-    """Run the full iteration study for one genome."""
+    """Run the full iteration study for one genome.
+
+    ``engine`` selects the evaluation backend threaded into every
+    method run (see :mod:`repro.core.engine`); results are identical
+    across backends, only throughput differs.
+    """
     from ..core.params import ParameterSpace
 
     size_mb = ctx.genome_sizes_mb[genome]
@@ -166,8 +172,8 @@ def study_genome(
         max_fraction_steps=STUDY_FRACTION_STEPS,
     )
 
-    em = run_em(ctx.space, sim, size_mb)
-    eml = run_eml(ctx.space, ml, sim, size_mb)
+    em = run_em(ctx.space, sim, size_mb, engine=engine)
+    eml = run_eml(ctx.space, ml, sim, size_mb, engine=engine)
 
     saml_times: dict[int, float] = {}
     sam_times: dict[int, float] = {}
@@ -181,6 +187,7 @@ def study_genome(
                 iterations=budget,
                 seed=ctx.seed + s,
                 initial_temperature=STUDY_TEMPERATURE,
+                engine=engine,
             )
             for s in range(n_seeds)
         ]
@@ -192,6 +199,7 @@ def study_genome(
                 iterations=budget,
                 seed=ctx.seed + 100 + s,
                 initial_temperature=STUDY_TEMPERATURE,
+                engine=engine,
             )
             for s in range(n_seeds)
         ]
@@ -219,11 +227,14 @@ def run_iteration_study(
     genomes: tuple[str, ...] = GENOME_ORDER,
     checkpoints: tuple[int, ...] = CHECKPOINTS,
     n_seeds: int = 3,
+    engine=None,
 ) -> IterationStudy:
     """Fig. 9 / Tables VI-IX over all evaluation genomes."""
     return IterationStudy(
         genomes={
-            g: study_genome(ctx, g, checkpoints=checkpoints, n_seeds=n_seeds)
+            g: study_genome(
+                ctx, g, checkpoints=checkpoints, n_seeds=n_seeds, engine=engine
+            )
             for g in genomes
         },
         checkpoints=checkpoints,

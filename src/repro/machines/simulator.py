@@ -98,21 +98,64 @@ class PlatformSimulator:
 
     # -- measurements ------------------------------------------------------
 
+    def _timed(self, side: str, threads: int, affinity: str, mb: float) -> float:
+        """Pure timing (model + noise), no experiment accounting."""
+        model = self.host_model if side == "host" else self.device_model
+        return model.time(threads, affinity, mb) * self._noise_factor(
+            side, threads, affinity, mb
+        )
+
+    def _measure(self, side: str, threads: int, affinity: str, mb: float) -> float:
+        t = self._timed(side, threads, affinity, mb)
+        self._experiments += 1
+        self._log.append(Measurement(side, threads, affinity, mb, t))
+        return t
+
     def measure_host(self, threads: int, affinity: str, mb: float) -> float:
         """Timed host experiment: scan ``mb`` MB with the given configuration."""
-        t = self.host_model.time(threads, affinity, mb)
-        t *= self._noise_factor("host", threads, affinity, mb)
-        self._experiments += 1
-        self._log.append(Measurement("host", threads, affinity, mb, t))
-        return t
+        return self._measure("host", threads, affinity, mb)
 
     def measure_device(self, threads: int, affinity: str, mb: float) -> float:
         """Timed device experiment (offload region around ``mb`` MB)."""
-        t = self.device_model.time(threads, affinity, mb)
-        t *= self._noise_factor("device", threads, affinity, mb)
-        self._experiments += 1
-        self._log.append(Measurement("device", threads, affinity, mb, t))
-        return t
+        return self._measure("device", threads, affinity, mb)
+
+    def _measure_batch(
+        self, side: str, items, processes: int | None = None
+    ) -> list[float]:
+        """Measure many ``(threads, affinity, mb)`` items on one side.
+
+        Values, experiment counts, and the measurement log are identical
+        to per-item ``measure_*`` calls (noise is deterministic per
+        configuration).  With ``processes > 1`` the pure timing work
+        fans out over a process pool while accounting stays in-process —
+        useful for large training grids on multi-core machines.
+        """
+        items = [(int(t), a, float(mb)) for t, a, mb in items]
+        if processes is not None and processes > 1 and len(items) > 1:
+            import multiprocessing
+
+            try:
+                context = multiprocessing.get_context("fork")
+            except ValueError:  # pragma: no cover - non-POSIX platforms
+                context = multiprocessing.get_context("spawn")
+            with context.Pool(processes) as pool:
+                times = pool.starmap(
+                    self._timed, [(side, t, a, mb) for t, a, mb in items]
+                )
+        else:
+            times = [self._timed(side, t, a, mb) for t, a, mb in items]
+        for (threads, affinity, mb), t in zip(items, times):
+            self._experiments += 1
+            self._log.append(Measurement(side, threads, affinity, mb, t))
+        return list(times)
+
+    def measure_host_batch(self, items, *, processes: int | None = None) -> list[float]:
+        """Batched :meth:`measure_host` over ``(threads, affinity, mb)`` items."""
+        return self._measure_batch("host", items, processes)
+
+    def measure_device_batch(self, items, *, processes: int | None = None) -> list[float]:
+        """Batched :meth:`measure_device` over ``(threads, affinity, mb)`` items."""
+        return self._measure_batch("device", items, processes)
 
     def true_host_time(self, threads: int, affinity: str, mb: float) -> float:
         """Noiseless host time; not counted as an experiment (oracle access)."""

@@ -11,7 +11,7 @@ from __future__ import annotations
 
 import numpy as np
 
-from .tree import RegressionTree
+from .tree import _LEAF, RegressionTree
 
 
 class BoostedDecisionTreeRegressor:
@@ -56,6 +56,7 @@ class BoostedDecisionTreeRegressor:
         self.base_prediction_: float | None = None
         self.trees_: list[RegressionTree] = []
         self.train_loss_: list[float] = []
+        self._packed: tuple | None = None
 
     def fit(self, X: np.ndarray, y: np.ndarray) -> "BoostedDecisionTreeRegressor":
         """Fit the ensemble; records per-stage training MSE in ``train_loss_``."""
@@ -84,16 +85,70 @@ class BoostedDecisionTreeRegressor:
             current = current + self.learning_rate * tree.predict(X)
             self.trees_.append(tree)
             self.train_loss_.append(float(np.mean((y - current) ** 2)))
+        self._packed = None
         return self
 
+    def _pack(self) -> tuple:
+        """Flatten the ensemble into (trees x nodes) arrays for batch descent.
+
+        Leaves become self-loops (left == right == node), so descending a
+        fixed ``max depth`` number of steps parks every row at its leaf.
+        Built lazily after fit and reused across predict calls.
+        """
+        if self._packed is None:
+            trees = self.trees_
+            n_trees = len(trees)
+            max_nodes = max(t.n_nodes for t in trees)
+            feature = np.zeros((n_trees, max_nodes), dtype=np.int32)
+            threshold = np.zeros((n_trees, max_nodes), dtype=np.float64)
+            left = np.zeros((n_trees, max_nodes), dtype=np.int32)
+            right = np.zeros((n_trees, max_nodes), dtype=np.int32)
+            value = np.zeros((n_trees, max_nodes), dtype=np.float64)
+            depth = 0
+            for t, tree in enumerate(trees):
+                n = tree.n_nodes
+                leaf = tree.feature == _LEAF
+                nodes = np.arange(n, dtype=np.int32)
+                feature[t, :n] = np.where(leaf, 0, tree.feature)
+                threshold[t, :n] = tree.threshold
+                left[t, :n] = np.where(leaf, nodes, tree.left)
+                right[t, :n] = np.where(leaf, nodes, tree.right)
+                value[t, :n] = tree.value
+                depth = max(depth, tree.depth)
+            self._packed = (feature, threshold, left, right, value, depth)
+        return self._packed
+
     def predict(self, X: np.ndarray) -> np.ndarray:
-        """Predict targets for a batch of rows."""
+        """Predict targets for a batch of rows.
+
+        All trees descend simultaneously over the packed representation
+        (one gather per depth level for the whole ensemble), which is
+        what makes whole-batch evaluation through
+        :class:`~repro.core.engine.BatchedEngine` pay off.  Values are
+        bit-identical to per-tree descent: same leaves, and the
+        per-stage accumulation below preserves the summation order of
+        :meth:`predict_one`.
+        """
         if self.base_prediction_ is None:
             raise RuntimeError("predict called before fit")
         X = np.atleast_2d(np.asarray(X, dtype=np.float64))
-        out = np.full(len(X), self.base_prediction_)
-        for tree in self.trees_:
-            out += self.learning_rate * tree.predict(X)
+        feature, threshold, left, right, value, depth = self._pack()
+        n = len(X)
+        nodes = np.zeros((len(self.trees_), n), dtype=np.int32)
+        rows = np.arange(n)
+        for _ in range(depth):
+            cur_feature = np.take_along_axis(feature, nodes, axis=1)
+            cur_threshold = np.take_along_axis(threshold, nodes, axis=1)
+            go_left = X[rows[None, :], cur_feature] <= cur_threshold
+            nodes = np.where(
+                go_left,
+                np.take_along_axis(left, nodes, axis=1),
+                np.take_along_axis(right, nodes, axis=1),
+            )
+        leaf_values = np.take_along_axis(value, nodes, axis=1)
+        out = np.full(n, self.base_prediction_)
+        for stage in leaf_values:
+            out += self.learning_rate * stage
         return out
 
     def predict_one(self, x) -> float:

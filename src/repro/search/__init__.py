@@ -3,7 +3,7 @@ for budget-fair ablation against the paper's simulated annealing choice.
 """
 
 from .aco import AntColony
-from .base import BudgetedSearch, Objective, SearchResult
+from .base import BudgetedSearch, BudgetTracker, Objective, SearchResult
 from .genetic import GeneticAlgorithm, crossover
 from .hill_climbing import HillClimbing
 from .random_search import RandomSearch
@@ -12,6 +12,7 @@ from .tabu import TabuSearch
 __all__ = [
     "AntColony",
     "BudgetedSearch",
+    "BudgetTracker",
     "Objective",
     "SearchResult",
     "GeneticAlgorithm",

@@ -43,12 +43,13 @@ class AntColony(BudgetedSearch):
         space: ParameterSpace,
         *,
         seed: int = 0,
+        engine=None,
         ants: int = 16,
         evaporation: float = 0.1,
         deposit: float = 1.0,
         elite_fraction: float = 0.25,
     ) -> None:
-        super().__init__(space, seed=seed)
+        super().__init__(space, seed=seed, engine=engine)
         if ants < 1:
             raise ValueError(f"ants must be >= 1, got {ants}")
         if not 0.0 < evaporation < 1.0:
@@ -85,25 +86,35 @@ class AntColony(BudgetedSearch):
         )
 
     def run(self, objective: Objective, budget: int) -> SearchResult:
-        """Minimize with at most ``budget`` evaluations."""
+        """Minimize with at most ``budget`` evaluations.
+
+        Each colony is sampled first and scored as one engine batch;
+        pheromone deposits only happen for complete colonies, matching
+        the historical per-ant loop (which aborted mid-colony when the
+        budget ran out, before any deposit).
+        """
         check_budget(budget)
         rng = rng_for(self.seed)
-        wrapped, result = self._make_tracker(objective, budget)
+        track = self._tracker(objective, budget)
         axes = self._axes()
         pheromone = [np.ones(len(axis)) for axis in axes]
         n_elite = max(1, int(round(self.elite_fraction * self.ants)))
 
         try:
             while True:
-                colony: list[tuple[float, list[int]]] = []
-                for _ in range(self.ants):
-                    choice = [
+                choices = [
+                    [
                         int(rng.choice(len(axis), p=ph / ph.sum()))
                         for axis, ph in zip(axes, pheromone)
                     ]
-                    value = wrapped(self._build(choice, axes))
-                    colony.append((value, choice))
-                colony.sort(key=lambda t: t[0])
+                    for _ in range(self.ants)
+                ]
+                values = track.evaluate_many(
+                    [self._build(choice, axes) for choice in choices]
+                )
+                if len(values) < len(choices):  # budget spent mid-colony
+                    break
+                colony = sorted(zip(values, choices), key=lambda t: t[0])
                 for ph in pheromone:
                     ph *= 1.0 - self.evaporation
                     ph += 1e-6  # keep every value reachable
@@ -113,4 +124,4 @@ class AntColony(BudgetedSearch):
                         pheromone[axis_idx][value_idx] += share
         except BudgetExhausted:
             pass
-        return result
+        return track.result

@@ -56,12 +56,13 @@ class GeneticAlgorithm(BudgetedSearch):
         space: ParameterSpace,
         *,
         seed: int = 0,
+        engine=None,
         population: int = 24,
         mutation_rate: float = 0.3,
         tournament: int = 3,
         elite: int = 2,
     ) -> None:
-        super().__init__(space, seed=seed)
+        super().__init__(space, seed=seed, engine=engine)
         if population < 2:
             raise ValueError(f"population must be >= 2, got {population}")
         if not 0.0 <= mutation_rate <= 1.0:
@@ -76,19 +77,27 @@ class GeneticAlgorithm(BudgetedSearch):
         self.elite = elite
 
     def run(self, objective: Objective, budget: int) -> SearchResult:
-        """Minimize with at most ``budget`` evaluations."""
+        """Minimize with at most ``budget`` evaluations.
+
+        Each generation's offspring are proposed first and scored as one
+        batch (selection only consults the previous generation, so the
+        candidate sequence matches the historical child-by-child loop).
+        """
         check_budget(budget)
         rng = rng_for(self.seed)
-        wrapped, result = self._make_tracker(objective, budget)
+        track = self._tracker(objective, budget)
 
         try:
             pop = [self.space.random_config(rng) for _ in range(self.population)]
-            fitness = [wrapped(c) for c in pop]
+            fitness = track.evaluate_many(pop)
+            if len(fitness) < len(pop):
+                raise BudgetExhausted()
             while True:
                 order = np.argsort(fitness)
                 next_pop = [pop[i] for i in order[: self.elite]]
                 next_fit = [fitness[i] for i in order[: self.elite]]
-                while len(next_pop) < self.population:
+                children = []
+                while len(next_pop) + len(children) < self.population:
                     parents = []
                     for _ in range(2):
                         contenders = rng.integers(0, len(pop), size=self.tournament)
@@ -97,9 +106,11 @@ class GeneticAlgorithm(BudgetedSearch):
                     child = crossover(parents[0], parents[1], rng)
                     if rng.random() < self.mutation_rate:
                         child = self.space.neighbor(child, rng)
-                    next_pop.append(child)
-                    next_fit.append(wrapped(child))
-                pop, fitness = next_pop, next_fit
+                    children.append(child)
+                values = track.evaluate_many(children)
+                if len(values) < len(children):  # budget spent mid-generation
+                    break
+                pop, fitness = next_pop + children, next_fit + values
         except BudgetExhausted:
             pass
-        return result
+        return track.result

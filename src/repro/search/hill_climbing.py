@@ -27,8 +27,8 @@ class HillClimbing(BudgetedSearch):
         Consecutive non-improving neighbor evaluations before a restart.
     """
 
-    def __init__(self, space, *, seed: int = 0, patience: int = 30) -> None:
-        super().__init__(space, seed=seed)
+    def __init__(self, space, *, seed: int = 0, engine=None, patience: int = 30) -> None:
+        super().__init__(space, seed=seed, engine=engine)
         if patience < 1:
             raise ValueError(f"patience must be >= 1, got {patience}")
         self.patience = patience
@@ -37,15 +37,18 @@ class HillClimbing(BudgetedSearch):
         """Minimize with at most ``budget`` evaluations."""
         check_budget(budget)
         rng = rng_for(self.seed)
-        wrapped, result = self._make_tracker(objective, budget)
+        # Inherently sequential (each move depends on the previous value),
+        # so candidates go to the engine one at a time; cached backends
+        # still help when restarts revisit configurations.
+        track = self._tracker(objective, budget)
         try:
             while True:
                 current = self.space.random_config(rng)
-                current_value = wrapped(current)
+                current_value = track.evaluate(current)
                 stale = 0
                 while stale < self.patience:
                     candidate = self.space.neighbor(current, rng)
-                    value = wrapped(candidate)
+                    value = track.evaluate(candidate)
                     if value < current_value:
                         current, current_value = candidate, value
                         stale = 0
@@ -53,4 +56,4 @@ class HillClimbing(BudgetedSearch):
                         stale += 1
         except BudgetExhausted:
             pass
-        return result
+        return track.result

@@ -1,7 +1,10 @@
 """Uniform random search — the weakest sensible baseline.
 
 Any informed method must beat it at equal budget; the ablation bench
-checks that simulated annealing does.
+checks that simulated annealing does.  Samples are independent, so the
+search is batch-native: whole blocks of candidates go to the engine in
+one call (the candidate sequence, and hence the trace, is identical for
+any batch size).
 """
 
 from __future__ import annotations
@@ -10,16 +13,32 @@ from .base import BudgetedSearch, BudgetExhausted, Objective, SearchResult, chec
 
 
 class RandomSearch(BudgetedSearch):
-    """Sample configurations uniformly at random."""
+    """Sample configurations uniformly at random.
+
+    Parameters
+    ----------
+    batch_size:
+        Candidates proposed per engine call.  Affects only how work is
+        chunked, never which configurations are evaluated.
+    """
+
+    def __init__(self, space, *, seed: int = 0, engine=None, batch_size: int = 64) -> None:
+        super().__init__(space, seed=seed, engine=engine)
+        if batch_size < 1:
+            raise ValueError(f"batch_size must be >= 1, got {batch_size}")
+        self.batch_size = batch_size
 
     def run(self, objective: Objective, budget: int) -> SearchResult:
         """Evaluate ``budget`` uniform random configurations."""
         check_budget(budget)
         rng = rng_for(self.seed)
-        wrapped, result = self._make_tracker(objective, budget)
+        track = self._tracker(objective, budget)
         try:
             while True:
-                wrapped(self.space.random_config(rng))
+                n = min(self.batch_size, max(track.remaining, 1))
+                track.evaluate_many(
+                    [self.space.random_config(rng) for _ in range(n)]
+                )
         except BudgetExhausted:
             pass
-        return result
+        return track.result

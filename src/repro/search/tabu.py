@@ -43,9 +43,15 @@ class TabuSearch(BudgetedSearch):
     """
 
     def __init__(
-        self, space, *, seed: int = 0, tabu_size: int = 50, neighborhood: int = 8
+        self,
+        space,
+        *,
+        seed: int = 0,
+        engine=None,
+        tabu_size: int = 50,
+        neighborhood: int = 8,
     ) -> None:
-        super().__init__(space, seed=seed)
+        super().__init__(space, seed=seed, engine=engine)
         if tabu_size < 1:
             raise ValueError(f"tabu_size must be >= 1, got {tabu_size}")
         if neighborhood < 1:
@@ -54,10 +60,16 @@ class TabuSearch(BudgetedSearch):
         self.neighborhood = neighborhood
 
     def run(self, objective: Objective, budget: int) -> SearchResult:
-        """Minimize with at most ``budget`` evaluations."""
+        """Minimize with at most ``budget`` evaluations.
+
+        The sampled neighborhood is drawn up front, tabu-filtered, and
+        scored as one engine batch (the tabu list only changes between
+        moves, so the filtered candidate set — and hence the trace —
+        matches the historical one-at-a-time loop).
+        """
         check_budget(budget)
         rng = rng_for(self.seed)
-        wrapped, result = self._make_tracker(objective, budget)
+        track = self._tracker(objective, budget)
         tabu: deque[tuple] = deque(maxlen=self.tabu_size)
         tabu_set: set[tuple] = set()
 
@@ -72,24 +84,27 @@ class TabuSearch(BudgetedSearch):
 
         try:
             current = self.space.random_config(rng)
-            wrapped(current)
+            track.evaluate(current)
             remember(current)
             while True:
+                sampled = [
+                    self.space.neighbor(current, rng)
+                    for _ in range(self.neighborhood)
+                ]
+                candidates = [c for c in sampled if _key(c) not in tabu_set]
                 best_candidate: SystemConfiguration | None = None
                 best_value = float("inf")
-                for _ in range(self.neighborhood):
-                    cand = self.space.neighbor(current, rng)
-                    if _key(cand) in tabu_set:
-                        continue
-                    value = wrapped(cand)
-                    if value < best_value:
-                        best_candidate, best_value = cand, value
+                if candidates:
+                    values = track.evaluate_many(candidates)
+                    for cand, value in zip(candidates, values):
+                        if value < best_value:
+                            best_candidate, best_value = cand, value
                 if best_candidate is None:
                     # Whole sampled neighborhood tabu: diversify.
                     best_candidate = self.space.random_config(rng)
-                    wrapped(best_candidate)
+                    track.evaluate(best_candidate)
                 current = best_candidate
                 remember(current)
         except BudgetExhausted:
             pass
-        return result
+        return track.result

@@ -41,5 +41,50 @@ class TestCLI:
             main(["figure42"])
 
     def test_artifact_list_is_complete(self):
-        for must in ("fig2", "fig9", "table6", "table9", "summary", "all"):
+        for must in ("fig2", "fig9", "table6", "table9", "summary", "tune", "all"):
             assert must in ARTIFACTS
+
+
+class TestEngineFlags:
+    """End-to-end coverage of the --engine/--batch-size flags."""
+
+    def test_unknown_engine_name_is_an_error(self, capsys):
+        assert main(["tune", "--engine", "warp-drive"]) == 2
+        err = capsys.readouterr().err
+        assert "unknown engine" in err
+        assert "warp-drive" in err
+
+    def test_tune_with_batched_engine_end_to_end(self, capsys):
+        code = main([
+            "tune", "--method", "SAML", "--iterations", "60",
+            "--engine", "batched", "--batch-size", "32",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "SAML suggestion" in out
+        assert "configuration" in out and "measured time" in out
+        assert "engine" in out and "batches=" in out
+
+    def test_tune_with_cached_engine_reports_hits(self, capsys):
+        code = main([
+            "tune", "--method", "SAML", "--iterations", "200", "--engine", "cached",
+        ])
+        assert code == 0
+        assert "cache hits=" in capsys.readouterr().out
+
+    def test_tune_engine_choice_does_not_change_result(self, capsys):
+        args = ["tune", "--method", "SAM", "--iterations", "80"]
+        assert main(args) == 0
+        plain = capsys.readouterr().out
+        assert main([*args, "--engine", "cached+batched"]) == 0
+        cached = capsys.readouterr().out
+        line = next(l for l in plain.splitlines() if "configuration" in l)
+        assert line in cached
+
+    def test_tune_unknown_method_is_an_error(self, capsys):
+        assert main(["tune", "--method", "GA"]) == 2
+        assert "unknown method" in capsys.readouterr().err
+
+    def test_batched_engine_flag_accepted_for_studies(self):
+        """--engine parses for study artifacts too (cheap artifact here)."""
+        assert main(["table2", "--engine", "batched"]) == 0

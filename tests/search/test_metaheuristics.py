@@ -3,7 +3,7 @@
 import numpy as np
 import pytest
 
-from repro.core import ParameterSpace
+from repro.core import ENGINE_NAMES, ParameterSpace, make_engine
 from repro.search import (
     GeneticAlgorithm,
     HillClimbing,
@@ -62,6 +62,25 @@ class TestCommonContract:
     def test_rejects_zero_budget(self, cls):
         with pytest.raises(ValueError):
             cls(SPACE, seed=0).run(objective, budget=0)
+
+    @pytest.mark.parametrize("engine_name", ENGINE_NAMES)
+    def test_engine_preserves_trace_and_best(self, cls, engine_name):
+        """Seed determinism across evaluation engines: the backend may
+        batch or cache, but never change what the search sees."""
+        reference = cls(SPACE, seed=6).run(objective, budget=110)
+        engine = make_engine(engine_name, batch_size=13)
+        result = cls(SPACE, seed=6, engine=engine).run(objective, budget=110)
+        assert result.trace == reference.trace
+        assert result.best_config == reference.best_config
+        assert result.evaluations == reference.evaluations == 110
+
+    @pytest.mark.parametrize("engine_name", ENGINE_NAMES)
+    def test_engine_respects_exact_budget(self, cls, engine_name):
+        """Uneven batches must truncate, never overshoot the budget."""
+        engine = make_engine(engine_name, batch_size=7)
+        result = cls(SPACE, seed=0, engine=engine).run(objective, budget=97)
+        assert result.evaluations == 97
+        assert len(result.trace) == 97
 
 
 class TestSearchQuality:
