@@ -1,0 +1,35 @@
+"""Cross-platform campaign cost: tuning the whole fleet vs one platform.
+
+The campaign subsystem's pitch is that answering the paper's tuning
+question for a *fleet* of platforms costs a small multiple of answering
+it for Emil alone — each platform's enumeration reference uses the
+separable fast path and the method itself runs on the batched engine.
+"""
+
+from conftest import run_once
+
+from repro.core import tune_campaign
+from repro.experiments import render_table
+from repro.machines import platform_names
+
+SIZE_MB = 1000.0
+ITERATIONS = 300
+
+
+def test_campaign_fleet(benchmark):
+    def fleet():
+        return tune_campaign(method="SAM", size_mb=SIZE_MB, iterations=ITERATIONS)
+
+    result = run_once(benchmark, fleet)
+    assert len(result) == len(platform_names())
+    # Every platform's search stays a small fraction of its enumeration
+    # budget (the deviceless host-only space is tiny, so exempt).
+    for report in result:
+        if report.space_size > 1000:
+            assert report.budget_fraction < 0.05
+    print()
+    print(render_table(
+        result.table_headers(),
+        result.table_rows(),
+        title=f"SAM campaign, {SIZE_MB:g} MB, {ITERATIONS} iterations",
+    ))

@@ -1,0 +1,10 @@
+"""Legacy setuptools shim.
+
+Metadata lives in ``pyproject.toml``; this file exists so environments
+without the ``wheel`` package (where PEP 660 editable builds fail) can
+still do ``pip install -e . --no-use-pep517``.
+"""
+
+from setuptools import setup
+
+setup()

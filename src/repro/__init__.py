@@ -22,8 +22,9 @@ Subpackages
     Parameter space (Table I), simulated annealing (Fig. 3), the
     EM/EML/SAM/SAML methods (Table II), training pipeline and tuner.
 ``repro.machines``
-    Platform substrate: specs (Table III), affinity placement, analytic
-    performance model, noisy measurement simulator.
+    Platform substrate: specs (Table III), the named-platform registry,
+    affinity placement, analytic performance model, noisy measurement
+    simulator.
 ``repro.dna``
     Workload substrate: synthetic genomes, Aho-Corasick automata,
     sequential/vectorized/chunk-parallel (PaREM) matchers.
@@ -42,40 +43,63 @@ Subpackages
 
 from .core import (
     DEFAULT_SPACE,
+    CampaignResult,
     MethodResult,
     ParameterSpace,
+    PlatformTuneReport,
     SimulatedAnnealing,
     SystemConfiguration,
     TuningOutcome,
     WorkDistributionTuner,
+    platform_space,
     run_em,
     run_eml,
     run_sam,
     run_saml,
+    tune_campaign,
+    tune_platform,
 )
 from .dna import DNASequenceAnalysis
-from .machines import EMIL, PlatformSimulator, PlatformSpec, WorkloadProfile
+from .machines import (
+    EMIL,
+    PerfProfile,
+    PlatformSimulator,
+    PlatformSpec,
+    WorkloadProfile,
+    get_platform,
+    platform_names,
+    register_platform,
+)
 from .ml import BoostedDecisionTreeRegressor
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "DEFAULT_SPACE",
+    "CampaignResult",
     "MethodResult",
     "ParameterSpace",
+    "PlatformTuneReport",
     "SimulatedAnnealing",
     "SystemConfiguration",
     "TuningOutcome",
     "WorkDistributionTuner",
+    "platform_space",
     "run_em",
     "run_eml",
     "run_sam",
     "run_saml",
+    "tune_campaign",
+    "tune_platform",
     "DNASequenceAnalysis",
     "EMIL",
+    "PerfProfile",
     "PlatformSimulator",
     "PlatformSpec",
     "WorkloadProfile",
+    "get_platform",
+    "platform_names",
+    "register_platform",
     "BoostedDecisionTreeRegressor",
     "__version__",
 ]

@@ -2,13 +2,20 @@
 
 Artifacts: ``fig2``, ``fig5``, ``fig6``, ``fig7``, ``fig8``, ``table2``,
 ``table4``, ``table5``, ``table6``, ``table7``, ``table8``, ``table9``,
-``fig9``, ``summary``, ``tune``, or ``all``.  Everything prints as
-plain-text tables mirroring the paper's figures and tables.
+``fig9``, ``summary``, ``tune``, ``platforms``, ``campaign``, or
+``all``.  Everything prints as plain-text tables mirroring the paper's
+figures and tables.
 
 ``tune`` runs one optimization method end-to-end and prints the
 suggested system configuration; ``--engine``/``--batch-size`` select
 the evaluation backend (serial / cached / batched — see
 :mod:`repro.core.engine`) for it and for the fig9/table studies.
+
+``--platform`` selects a registered platform (default: the paper's
+``emil``) for ``tune`` and the experiment artifacts; ``platforms``
+lists the registry; ``campaign`` runs one tuning method across every
+registered platform and prints a per-platform comparison table (see
+:mod:`repro.core.campaign`).
 """
 
 from __future__ import annotations
@@ -21,11 +28,11 @@ from .core.methods import METHOD_PROPERTIES
 from .dna.sequence import GENOME_ORDER
 from .experiments import (
     CHECKPOINTS,
-    default_context,
     fig5_curves,
     fig6_curves,
     fig7_histogram,
     fig8_histogram,
+    platform_context,
     render_histogram,
     render_series,
     render_table,
@@ -34,12 +41,13 @@ from .experiments import (
     table4,
     table5,
 )
+from .machines.registry import get_platform
 
 ARTIFACTS = (
     "fig2", "fig5", "fig6", "fig7", "fig8", "fig9",
     "table1", "table2", "table3",
     "table4", "table5", "table6", "table7", "table8", "table9",
-    "summary", "tune", "all",
+    "summary", "tune", "platforms", "campaign", "all",
 )
 
 
@@ -63,24 +71,46 @@ def _print_table1() -> None:
     print()
 
 
-def _print_table3() -> None:
-    from .machines.spec import EMIL
-
-    cpu, phi = EMIL.cpu, EMIL.device
+def _print_table3(platform) -> None:
+    cpu, phi = platform.cpu, platform.device
+    device_installed = platform.has_device
     rows = [
-        ("Type", "E5-2695v2", "7120P"),
+        ("Type", cpu.name.replace("Intel Xeon ", ""),
+         phi.name.replace("Intel Xeon Phi ", "") if device_installed else "none"),
         ("Core frequency [GHz]", f"{cpu.base_freq_ghz} - {cpu.turbo_freq_ghz}",
-         f"{phi.base_freq_ghz} - {phi.turbo_freq_ghz}"),
-        ("# of Cores", cpu.cores, phi.cores),
-        ("# of Threads", cpu.hardware_threads, phi.hardware_threads),
-        ("Cache [MB]", cpu.l3_mb, phi.l2_mb),
-        ("Max Mem. Bandwidth [GB/s]", cpu.mem_bandwidth_gbs, phi.mem_bandwidth_gbs),
+         f"{phi.base_freq_ghz} - {phi.turbo_freq_ghz}" if device_installed else "-"),
+        ("# of Cores", cpu.cores, phi.cores if device_installed else "-"),
+        ("# of Threads", cpu.hardware_threads,
+         phi.hardware_threads if device_installed else "-"),
+        ("Cache [MB]", cpu.l3_mb, phi.l2_mb if device_installed else "-"),
+        ("Max Mem. Bandwidth [GB/s]", cpu.mem_bandwidth_gbs,
+         phi.mem_bandwidth_gbs if device_installed else "-"),
     ]
     print(render_table(
         ["Specification", "Intel Xeon", "Intel Xeon Phi"],
         rows,
-        title=f"Table III: {EMIL.name} hardware architecture",
+        title=f"Table III: {platform.name} hardware architecture",
         float_format="{:g}",
+    ))
+    print()
+
+
+def _print_platforms() -> None:
+    from .machines.registry import all_platforms
+
+    rows = []
+    for spec in all_platforms():
+        rows.append((
+            spec.name,
+            f"{spec.sockets}x{spec.cpu.cores}c ({spec.host_hardware_threads} ht)",
+            f"{spec.num_devices}x{spec.device.name}" if spec.has_device else "none",
+            spec.interconnect.name if spec.has_device else "-",
+            spec.description or "-",
+        ))
+    print(render_table(
+        ["Platform", "Host", "Accelerators", "Interconnect", "Notes"],
+        rows,
+        title="Registered platforms (select with --platform)",
     ))
     print()
 
@@ -126,7 +156,8 @@ def _print_table2() -> None:
     ]
     print(
         render_table(
-            ["Method", "Space Exploration", "Sys. Conf. Evaluation", "Effort", "Accuracy", "Prediction"],
+            ["Method", "Space Exploration", "Sys. Conf. Evaluation",
+             "Effort", "Accuracy", "Prediction"],
             rows,
             title="Table II: properties of optimization methods",
         )
@@ -140,17 +171,24 @@ def _print_accuracy_table(t, title: str) -> None:
     print()
 
 
-def _run_tune(ctx, args, engine) -> int:
+def _run_tune(platform, args, engine) -> int:
     """One end-to-end tuning run: method + engine -> suggested config."""
     from .core.methods import run_method
+    from .core.params import platform_space
+    from .machines.simulator import PlatformSimulator
 
-    method = args.method.upper()
+    method = (args.method or "SAML").upper()
     try:
-        ml = ctx.ml() if method in ("EML", "SAML") else None
+        space = platform_space(platform)
+        sim = PlatformSimulator(platform, seed=args.seed)
+        ml = None
+        if method in ("EML", "SAML"):
+            platform.require_device(f"{method} needs trained predictors — use EM or SAM")
+            ml = platform_context(platform.name.lower(), args.seed).ml()
         result = run_method(
             method,
-            ctx.space,
-            ctx.sim,
+            space,
+            sim,
             args.size_mb,
             ml=ml,
             iterations=args.iterations,
@@ -160,7 +198,7 @@ def _run_tune(ctx, args, engine) -> int:
     except ValueError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
-    print(f"{method} suggestion for a {args.size_mb:g} MB workload:")
+    print(f"{method} suggestion for a {args.size_mb:g} MB workload on {platform.name}:")
     print(f"  configuration      : {result.config.describe()}")
     print(f"  measured time      : {result.measured_time:.3f} s")
     print(f"  search evaluations : {result.search_evaluations}")
@@ -172,6 +210,48 @@ def _run_tune(ctx, args, engine) -> int:
             f"(batches={stats.batches}, evaluations={stats.evaluations}, "
             f"cache hits={stats.cache_hits})"
         )
+    return 0
+
+
+def _run_campaign(args) -> int:
+    """One method across the registered fleet -> comparison table."""
+    from .core.campaign import tune_campaign
+
+    method = (args.method or "SAM").upper()
+    platforms = None
+    if args.platforms:
+        platforms = tuple(p.strip() for p in args.platforms.split(",") if p.strip())
+    elif args.platform is not None:
+        # `campaign --platform X` means a single-platform campaign, not
+        # "silently tune the whole fleet anyway".
+        platforms = (args.platform,)
+    try:
+        result = tune_campaign(
+            platforms,
+            method=method,
+            size_mb=args.size_mb,
+            iterations=args.iterations,
+            seed=args.seed,
+            engine=args.engine if args.engine is not None else "cached+batched",
+            batch_size=args.batch_size,
+            processes=args.processes,
+        )
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    print(render_table(
+        result.table_headers(),
+        result.table_rows(),
+        title=(
+            f"Campaign: {method} on a {args.size_mb:g} MB workload "
+            f"across {len(result)} platforms"
+        ),
+    ))
+    best = result.best_platform()
+    print()
+    print(f"fastest platform   : {best.platform} ({best.measured_time:.3f} s)")
+    print(f"closest to optimum : "
+          f"{min(result, key=lambda r: r.quality_vs_em).platform}")
     return 0
 
 
@@ -197,14 +277,30 @@ def main(argv: list[str] | None = None) -> int:
         help="configurations per batch for the batched engine",
     )
     parser.add_argument(
-        "--method", default="SAML", help="optimization method for `tune` (Table II)"
+        "--method", default=None,
+        help="optimization method for `tune`/`campaign` (Table II; "
+        "default: SAML for tune, SAM for campaign)",
     )
     parser.add_argument(
-        "--size-mb", type=float, default=3170.0, help="workload size for `tune` [MB]"
+        "--size-mb", type=float, default=3170.0,
+        help="workload size for `tune`/`campaign` [MB]",
     )
     parser.add_argument(
         "--iterations", type=int, default=1000,
-        help="annealing iterations for `tune` with SAM/SAML",
+        help="annealing iterations for `tune`/`campaign` with SAM/SAML",
+    )
+    parser.add_argument(
+        "--platform", default=None,
+        help="registered platform for `tune`, `campaign`, and the experiment "
+        "artifacts (default: emil; see the `platforms` artifact)",
+    )
+    parser.add_argument(
+        "--platforms", default=None,
+        help="comma-separated platform subset for `campaign` (default: all registered)",
+    )
+    parser.add_argument(
+        "--processes", type=int, default=None,
+        help="fan `campaign` platforms out over this many worker processes",
     )
     args = parser.parse_args(argv)
 
@@ -220,20 +316,43 @@ def main(argv: list[str] | None = None) -> int:
 
     t0 = time.time()
     want = args.artifact
-    needs_ctx = want not in ("table1", "table2", "table3")
-    ctx = default_context(args.seed) if needs_ctx else None
 
-    if want == "tune":
-        code = _run_tune(ctx, args, engine)
+    try:
+        platform = get_platform(args.platform or "emil")
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+    if want == "platforms":
+        _print_platforms()
+        print(f"[done in {time.time() - t0:.1f}s]", file=sys.stderr)
+        return 0
+
+    if want == "campaign":
+        code = _run_campaign(args)
         print(f"[done in {time.time() - t0:.1f}s]", file=sys.stderr)
         return code
+
+    if want == "tune":
+        code = _run_tune(platform, args, engine)
+        print(f"[done in {time.time() - t0:.1f}s]", file=sys.stderr)
+        return code
+
+    needs_ctx = want not in ("table1", "table2", "table3")
+    ctx = None
+    if needs_ctx:
+        try:
+            ctx = platform_context(args.platform or "emil", args.seed)
+        except ValueError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
 
     if want in ("table1", "all"):
         _print_table1()
     if want in ("table2", "all"):
         _print_table2()
     if want in ("table3", "all"):
-        _print_table3()
+        _print_table3(platform)
     if want in ("fig2", "all"):
         _print_fig2(ctx)
     if want in ("fig5", "all"):

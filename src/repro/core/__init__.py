@@ -9,6 +9,12 @@ from .annealing import (
     SimulatedAnnealing,
     cooling_rate_for,
 )
+from .campaign import (
+    CampaignResult,
+    PlatformTuneReport,
+    tune_campaign,
+    tune_platform,
+)
 from .energy import ConfigurationEvaluator, Energy
 from .engine import (
     ENGINE_NAMES,
@@ -51,6 +57,7 @@ from .params import (
     SystemConfiguration,
     device_only_config,
     host_only_config,
+    platform_space,
 )
 from .training import (
     DEFAULT_TRAINING_SIZES_MB,
@@ -68,6 +75,10 @@ __all__ = [
     "AnnealingStep",
     "SimulatedAnnealing",
     "cooling_rate_for",
+    "CampaignResult",
+    "PlatformTuneReport",
+    "tune_campaign",
+    "tune_platform",
     "ConfigurationEvaluator",
     "Energy",
     "ENGINE_NAMES",
@@ -102,6 +113,7 @@ __all__ = [
     "SystemConfiguration",
     "device_only_config",
     "host_only_config",
+    "platform_space",
     "DEFAULT_TRAINING_SIZES_MB",
     "TRAINING_FRACTIONS",
     "TrainedModels",

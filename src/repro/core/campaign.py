@@ -1,0 +1,288 @@
+"""Cross-platform tuning campaigns.
+
+A *campaign* runs one optimization method (Table II) against every
+platform of a fleet and reports, per platform: the suggested system
+configuration, its measured time, how close it comes to the enumeration
+optimum (EM), the speedups over the host-only / device-only baselines,
+and the experiment budget the search consumed versus what a full
+enumeration would cost.  It answers the question the paper's single-node
+evaluation leaves open — does the tuning method keep working when core
+counts, accelerator mixes, and interconnects change?
+
+Each platform gets its own measurement substrate, its own configuration
+space (fitted via :func:`~repro.core.params.platform_space`), and its
+own :class:`~repro.core.engine.EvaluationEngine` instance, so per-
+platform engine statistics and experiment budgets stay clean.  With
+``processes > 1`` whole platforms are scored concurrently over a
+process pool — every per-platform computation is deterministic given
+``(platform, method, seed)``, so the fan-out changes wall-clock time
+only, never results.
+
+ML-backed methods (EML/SAML) retrain the predictors per platform (the
+paper's "once per platform" training workflow); platforms without an
+accelerator cannot train a device model and are rejected for those
+methods — use EM/SAM fleet-wide, or pass an explicit platform list.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..machines.perfmodel import DNA_SCAN, WorkloadProfile
+from ..machines.registry import get_platform, platform_names
+from ..machines.simulator import PlatformSimulator
+from ..machines.spec import PlatformSpec
+from .engine import EvaluationEngine, make_engine
+from .methods import run_em, run_method
+from .params import SystemConfiguration, device_only_config, host_only_config, platform_space
+
+#: Methods that need per-platform trained predictors.
+ML_METHODS = ("EML", "SAML")
+
+
+@dataclass(frozen=True)
+class PlatformTuneReport:
+    """One platform's campaign row."""
+
+    platform: str
+    description: str
+    method: str
+    config: SystemConfiguration
+    measured_time: float  # seconds, measured, of the suggested config
+    em_time: float  # seconds, measured, of the enumeration optimum
+    em_config: SystemConfiguration
+    host_only_time: float
+    device_only_time: float | None  # None on platforms without a device
+    experiments: int  # timed experiments the method consumed
+    search_evaluations: int
+    space_size: int
+    engine_batches: int
+    engine_cache_hits: int
+
+    @property
+    def quality_vs_em(self) -> float:
+        """Suggested-config time over the enumeration optimum (1.0 = optimal)."""
+        return self.measured_time / self.em_time
+
+    @property
+    def speedup_vs_em_budget(self) -> float:
+        """Experiment-budget saving: EM experiments per method experiment."""
+        return self.space_size / max(1, self.experiments)
+
+    @property
+    def budget_fraction(self) -> float:
+        """Method experiments as a fraction of the enumeration budget."""
+        return self.experiments / self.space_size
+
+    @property
+    def speedup_vs_host_only(self) -> float:
+        """Measured speedup over host-only with every host thread."""
+        return self.host_only_time / self.measured_time
+
+    @property
+    def speedup_vs_device_only(self) -> float | None:
+        """Measured speedup over device-only (None without a device)."""
+        if self.device_only_time is None:
+            return None
+        return self.device_only_time / self.measured_time
+
+
+@dataclass(frozen=True)
+class CampaignResult:
+    """All platforms' campaign rows plus comparison-table views."""
+
+    method: str
+    size_mb: float
+    reports: tuple[PlatformTuneReport, ...]
+
+    def __iter__(self):
+        return iter(self.reports)
+
+    def __len__(self) -> int:
+        return len(self.reports)
+
+    def report(self, platform: str) -> PlatformTuneReport:
+        """The row for one platform (by registry key or display name)."""
+        want = platform.strip().lower()
+        for r in self.reports:
+            if r.platform.lower() == want:
+                return r
+        known = ", ".join(r.platform for r in self.reports)
+        raise KeyError(f"no campaign report for {platform!r}; have: {known}")
+
+    def best_platform(self) -> PlatformTuneReport:
+        """The platform with the lowest tuned measured time."""
+        return min(self.reports, key=lambda r: r.measured_time)
+
+    def table_headers(self) -> list[str]:
+        """Column headers for :meth:`table_rows`."""
+        return [
+            "Platform",
+            "Best configuration",
+            "Time [s]",
+            "EM [s]",
+            "vs EM",
+            "vs host",
+            "vs device",
+            "Experiments",
+            "Budget [%]",
+        ]
+
+    def table_rows(self) -> list[tuple[object, ...]]:
+        """Per-platform comparison rows (printed by the CLI)."""
+        rows: list[tuple[object, ...]] = []
+        for r in self.reports:
+            vs_device = r.speedup_vs_device_only
+            rows.append(
+                (
+                    r.platform,
+                    r.config.describe(),
+                    round(r.measured_time, 3),
+                    round(r.em_time, 3),
+                    f"{r.quality_vs_em:.3f}x",
+                    f"{r.speedup_vs_host_only:.2f}x",
+                    "-" if vs_device is None else f"{vs_device:.2f}x",
+                    r.experiments,
+                    round(100.0 * r.budget_fraction, 2),
+                )
+            )
+        return rows
+
+
+def tune_platform(
+    platform: PlatformSpec | str,
+    *,
+    method: str = "SAM",
+    size_mb: float = 3170.0,
+    iterations: int = 1000,
+    seed: int = 0,
+    workload: WorkloadProfile = DNA_SCAN,
+    engine: str | EvaluationEngine | None = "cached+batched",
+    batch_size: int = 64,
+) -> PlatformTuneReport:
+    """Tune one platform and compare against its enumeration optimum.
+
+    The EM reference runs on its own substrate via the separable fast
+    path (cheap), so the reported ``experiments`` count only what the
+    method itself consumed.
+    """
+    spec = get_platform(platform)
+    method = method.upper()
+    if method in ML_METHODS:
+        spec.require_device(
+            f"method {method} needs per-platform trained predictors — use EM or SAM"
+        )
+    space = platform_space(spec)
+    if isinstance(engine, str):
+        engine = make_engine(engine, batch_size=batch_size)
+
+    em = run_em(space, PlatformSimulator(spec, workload, seed=seed), size_mb)
+
+    sim = PlatformSimulator(spec, workload, seed=seed)
+    ml = None
+    if method in ML_METHODS:
+        from .tuner import WorkDistributionTuner
+
+        tuner = WorkDistributionTuner(spec, workload, space, seed=seed)
+        ml = tuner.models.evaluator()
+        sim = tuner.sim
+    result = run_method(
+        method,
+        space,
+        sim,
+        size_mb,
+        ml=ml,
+        iterations=iterations,
+        seed=seed,
+        engine=engine,
+    )
+
+    baseline_sim = PlatformSimulator(spec, workload, seed=seed)
+    host_cfg = host_only_config(max(space.host_threads))
+    host_only = baseline_sim.measure_host(
+        host_cfg.host_threads, host_cfg.host_affinity, size_mb
+    )
+    device_only = None
+    if spec.has_device:
+        device_cfg = device_only_config(max(space.device_threads))
+        device_only = baseline_sim.measure_device(
+            device_cfg.device_threads, device_cfg.device_affinity, size_mb
+        )
+
+    stats = engine.stats if isinstance(engine, EvaluationEngine) else None
+    return PlatformTuneReport(
+        platform=spec.name,
+        description=spec.description,
+        method=method,
+        config=result.config,
+        measured_time=result.measured_time,
+        em_time=em.measured_time,
+        em_config=em.config,
+        host_only_time=host_only,
+        device_only_time=device_only,
+        experiments=result.experiments,
+        search_evaluations=result.search_evaluations,
+        space_size=space.size(),
+        engine_batches=stats.batches if stats else 0,
+        engine_cache_hits=stats.cache_hits if stats else 0,
+    )
+
+
+def _tune_platform_worker(args: tuple) -> PlatformTuneReport:
+    """Picklable fan-out target: platforms resolve by name in the worker."""
+    name, kwargs = args
+    return tune_platform(name, **kwargs)
+
+
+def tune_campaign(
+    platforms: tuple[str, ...] | list[str] | None = None,
+    *,
+    method: str = "SAM",
+    size_mb: float = 3170.0,
+    iterations: int = 1000,
+    seed: int = 0,
+    workload: WorkloadProfile = DNA_SCAN,
+    engine: str | None = "cached+batched",
+    batch_size: int = 64,
+    processes: int | None = None,
+) -> CampaignResult:
+    """Run one tuning method across a fleet of registered platforms.
+
+    ``platforms`` defaults to every registered platform (minus the
+    accelerator-less ones when ``method`` is ML-backed, which cannot
+    train a device predictor).  ``engine`` is an engine *name*; each
+    platform gets a fresh instance so its batch/cache statistics are
+    per-platform.  ``processes > 1`` scores platforms concurrently over
+    a process pool with identical results.
+    """
+    method = method.upper()
+    if platforms is None:
+        names = list(platform_names())
+        if method in ML_METHODS:
+            names = [n for n in names if get_platform(n).has_device]
+    else:
+        names = [n for n in platforms]
+    if not names:
+        raise ValueError("campaign needs at least one platform")
+    kwargs = dict(
+        method=method,
+        size_mb=size_mb,
+        iterations=iterations,
+        seed=seed,
+        workload=workload,
+        engine=engine,
+        batch_size=batch_size,
+    )
+    jobs = [(name, kwargs) for name in names]
+    if processes is not None and processes > 1 and len(jobs) > 1:
+        import multiprocessing
+
+        try:
+            context = multiprocessing.get_context("fork")
+        except ValueError:  # pragma: no cover - non-POSIX platforms
+            context = multiprocessing.get_context("spawn")
+        with context.Pool(min(processes, len(jobs))) as pool:
+            reports = pool.map(_tune_platform_worker, jobs)
+    else:
+        reports = [_tune_platform_worker(job) for job in jobs]
+    return CampaignResult(method=method, size_mb=size_mb, reports=tuple(reports))

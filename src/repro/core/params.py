@@ -24,6 +24,7 @@ from typing import Iterator, Sequence
 import numpy as np
 
 from ..machines.affinity import DEVICE_AFFINITIES, HOST_AFFINITIES
+from ..machines.spec import PlatformSpec
 
 #: Host thread counts used throughout the evaluation (section IV-A).
 EVAL_HOST_THREADS: tuple[int, ...] = (2, 6, 12, 24, 36, 48)
@@ -250,3 +251,69 @@ class ParameterSpace:
 
 #: The evaluation space of the paper: |space| = 19 926.
 DEFAULT_SPACE = ParameterSpace()
+
+
+def _scaled_grid(base: Sequence[int], base_capacity: int, capacity: int) -> tuple[int, ...]:
+    """Rescale a thread grid to a different hardware-thread capacity.
+
+    Each base value keeps its *relative* position (value / capacity), so
+    the grid's shape — a few small counts, then roughly geometric steps
+    up to every hardware thread — carries over to any platform.  When
+    ``capacity == base_capacity`` the base grid is returned verbatim
+    (Emil stays bit-for-bit on Table I's grids).
+    """
+    if capacity <= 0:
+        raise ValueError(f"capacity must be positive, got {capacity}")
+    if capacity == base_capacity:
+        return tuple(base)
+    scaled = sorted(
+        {min(capacity, max(1, round(v * capacity / base_capacity))) for v in base}
+    )
+    if scaled[-1] != capacity:
+        scaled.append(capacity)
+    return tuple(scaled)
+
+
+def platform_space(
+    platform: PlatformSpec,
+    *,
+    fractions: Sequence[float] = FRACTIONS,
+    max_fraction_steps: int = 4,
+) -> ParameterSpace:
+    """Fit the Table I configuration space to a platform's capacities.
+
+    Thread grids are the paper's grids rescaled to the platform's host
+    and device hardware-thread counts (see :func:`_scaled_grid`); for
+    the paper's *Emil* platform the result is exactly
+    :data:`DEFAULT_SPACE`, preserving every historical artifact.  A
+    platform without an accelerator collapses the device axes and pins
+    the workload fraction to 100% host — the space degenerates to the
+    host-only configurations, which all methods handle unchanged.
+    """
+    host_threads = _scaled_grid(
+        EVAL_HOST_THREADS, 48, platform.host_hardware_threads
+    )
+    if platform.has_device:
+        device_threads = _scaled_grid(DEVICE_THREADS, 240, platform.max_device_threads)
+        device_affinities = DEVICE_AFFINITIES
+        space_fractions = tuple(float(f) for f in fractions)
+    else:
+        device_threads = (1,)
+        device_affinities = (DEVICE_AFFINITIES[0],)
+        space_fractions = (100.0,)
+    if (
+        host_threads == EVAL_HOST_THREADS
+        and device_threads == DEVICE_THREADS
+        and device_affinities == DEVICE_AFFINITIES
+        and space_fractions == FRACTIONS
+        and max_fraction_steps == DEFAULT_SPACE.max_fraction_steps
+    ):
+        return DEFAULT_SPACE
+    return ParameterSpace(
+        host_threads=host_threads,
+        host_affinities=HOST_AFFINITIES,
+        device_threads=device_threads,
+        device_affinities=device_affinities,
+        fractions=space_fractions,
+        max_fraction_steps=max_fraction_steps,
+    )

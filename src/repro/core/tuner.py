@@ -17,17 +17,18 @@ from dataclasses import dataclass
 from pathlib import Path
 
 from ..machines.perfmodel import DNA_SCAN, WorkloadProfile
+from ..machines.registry import get_platform
 from ..machines.simulator import PlatformSimulator
 from ..machines.spec import EMIL, PlatformSpec
 from .energy import Energy
 from .engine import EvaluationEngine, make_engine
 from .methods import MethodResult, run_method
 from .params import (
-    DEFAULT_SPACE,
     ParameterSpace,
     SystemConfiguration,
     device_only_config,
     host_only_config,
+    platform_space,
 )
 from .training import (
     DEFAULT_TRAINING_SIZES_MB,
@@ -52,11 +53,15 @@ class _LoadedModels:
 
 @dataclass(frozen=True)
 class TuningOutcome:
-    """A tuned configuration with its baseline comparisons."""
+    """A tuned configuration with its baseline comparisons.
+
+    ``device_only`` is ``None`` on platforms without an accelerator
+    (there is no device-only baseline to run).
+    """
 
     result: MethodResult
     host_only: Energy
-    device_only: Energy
+    device_only: Energy | None
 
     @property
     def config(self) -> SystemConfiguration:
@@ -71,6 +76,8 @@ class TuningOutcome:
     @property
     def speedup_vs_device_only(self) -> float:
         """Measured speedup over running everything on the accelerator."""
+        if self.device_only is None:
+            raise ValueError("platform has no accelerator: no device-only baseline")
         return self.device_only.value / self.result.measured_time
 
 
@@ -80,30 +87,35 @@ class WorkDistributionTuner:
     Parameters
     ----------
     platform:
-        Hardware description (defaults to the paper's *Emil* node).
+        Hardware description — a :class:`~repro.machines.spec.PlatformSpec`
+        or a registry name like ``"emil"`` / ``"fathost"`` (see
+        :mod:`repro.machines.registry`).  Defaults to the paper's *Emil*
+        node.
     workload:
         Scan-rate/table-footprint profile; take it from
         :meth:`repro.dna.DNASequenceAnalysis.workload_profile` to tune
         the actual application.
     space:
-        Configuration space (defaults to the paper's Table I space).
+        Configuration space; by default it is fitted to the platform's
+        thread capacities via :func:`~repro.core.params.platform_space`
+        (for Emil that is exactly the paper's Table I space).
     seed:
         Controls measurement noise and annealing randomness.
     """
 
     def __init__(
         self,
-        platform: PlatformSpec = EMIL,
+        platform: PlatformSpec | str = EMIL,
         workload: WorkloadProfile = DNA_SCAN,
-        space: ParameterSpace = DEFAULT_SPACE,
+        space: ParameterSpace | None = None,
         *,
         seed: int = 0,
     ) -> None:
-        self.platform = platform
+        self.platform = get_platform(platform)
         self.workload = workload
-        self.space = space
+        self.space = space if space is not None else platform_space(self.platform)
         self.seed = seed
-        self.sim = PlatformSimulator(platform, workload, seed=seed)
+        self.sim = PlatformSimulator(self.platform, workload, seed=seed)
         self._models: TrainedModels | None = None
 
     # -- training ----------------------------------------------------------
@@ -119,8 +131,22 @@ class WorkDistributionTuner:
         Expensive (the paper's grid is 7200 experiments) but done once;
         afterwards :meth:`tune` with SAML/EML costs no experiments.
         ``processes`` parallelizes the batched measurement campaign.
+        The grids follow the tuner's configuration space, so non-Emil
+        platforms train on thread counts their hardware actually has.
         """
-        data = generate_training_data(self.sim, sizes_mb=sizes_mb, processes=processes)
+        self.platform.require_device(
+            "ML-backed methods (EML/SAML) need a device-side training grid — "
+            "use the measurement-based methods (EM/SAM) instead"
+        )
+        data = generate_training_data(
+            self.sim,
+            sizes_mb=sizes_mb,
+            host_threads=self.space.host_threads,
+            host_affinities=self.space.host_affinities,
+            device_threads=self.space.device_threads,
+            device_affinities=self.space.device_affinities,
+            processes=processes,
+        )
         self._models = train_models(data, seed=self.seed)
         return self._models
 
@@ -221,15 +247,17 @@ class WorkDistributionTuner:
             engine=engine,
         )
         host_cfg = host_only_config(max(self.space.host_threads))
-        device_cfg = device_only_config(max(self.space.device_threads))
         host_only = Energy(
             self.sim.measure_host(host_cfg.host_threads, host_cfg.host_affinity, size_mb),
             0.0,
         )
-        device_only = Energy(
-            0.0,
-            self.sim.measure_device(
-                device_cfg.device_threads, device_cfg.device_affinity, size_mb
-            ),
-        )
+        device_only = None
+        if self.platform.has_device:
+            device_cfg = device_only_config(max(self.space.device_threads))
+            device_only = Energy(
+                0.0,
+                self.sim.measure_device(
+                    device_cfg.device_threads, device_cfg.device_affinity, size_mb
+                ),
+            )
         return TuningOutcome(result=result, host_only=host_only, device_only=device_only)

@@ -32,7 +32,7 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
-from .alphabet import ALPHABET_SIZE, UNKNOWN_CODE, encode
+from .alphabet import ALPHABET_SIZE, encode
 from .automaton import DFA
 
 #: IUPAC nucleotide ambiguity codes -> the bases they stand for.

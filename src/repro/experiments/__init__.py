@@ -6,7 +6,7 @@ which owns the one-off training-grid run.
 """
 
 from .ascii_plot import gantt, line_plot
-from .context import ExperimentContext, build_context, default_context
+from .context import ExperimentContext, build_context, default_context, platform_context
 from .fig2 import (
     RATIO_GRID,
     RATIO_LABELS,
@@ -45,6 +45,7 @@ __all__ = [
     "ExperimentContext",
     "build_context",
     "default_context",
+    "platform_context",
     "RATIO_GRID",
     "RATIO_LABELS",
     "SCENARIOS",

@@ -12,7 +12,7 @@ from dataclasses import dataclass
 from functools import lru_cache
 
 from ..core.evaluators import MLEvaluator
-from ..core.params import DEFAULT_SPACE, ParameterSpace
+from ..core.params import ParameterSpace, platform_space
 from ..core.training import TrainedModels, generate_training_data, train_models
 from ..dna.sequence import GENOME_ORDER, GENOMES
 from ..machines.perfmodel import DNA_SCAN, WorkloadProfile
@@ -43,12 +43,28 @@ def build_context(
     *,
     platform: PlatformSpec = EMIL,
     workload: WorkloadProfile = DNA_SCAN,
-    space: ParameterSpace = DEFAULT_SPACE,
+    space: ParameterSpace | None = None,
     seed: int = 0,
 ) -> ExperimentContext:
-    """Run the training grid and fit models (the expensive setup)."""
+    """Run the training grid and fit models (the expensive setup).
+
+    ``space`` defaults to the platform-fitted configuration space (the
+    paper's Table I space for Emil); the training grids follow it, so a
+    context can be built for any registered platform with a device.
+    """
+    platform.require_device(
+        "experiment contexts need both training grids — use the campaign/tune paths"
+    )
+    if space is None:
+        space = platform_space(platform)
     sim = PlatformSimulator(platform, workload, seed=seed)
-    data = generate_training_data(sim)
+    data = generate_training_data(
+        sim,
+        host_threads=space.host_threads,
+        host_affinities=space.host_affinities,
+        device_threads=space.device_threads,
+        device_affinities=space.device_affinities,
+    )
     models = train_models(data, seed=seed)
     return ExperimentContext(sim=sim, models=models, space=space, seed=seed)
 
@@ -57,3 +73,18 @@ def build_context(
 def default_context(seed: int = 0) -> ExperimentContext:
     """Memoized default context shared by tests and benchmarks."""
     return build_context(seed=seed)
+
+
+@lru_cache(maxsize=4)
+def platform_context(platform: str = "emil", seed: int = 0) -> ExperimentContext:
+    """Memoized context for a registered platform (by name).
+
+    For Emil this is exactly :func:`default_context` — same cache, same
+    models — so platform-aware callers keep the historical results.
+    """
+    from ..machines.registry import get_platform
+
+    spec = get_platform(platform)
+    if spec is EMIL:
+        return default_context(seed)
+    return build_context(platform=spec, seed=seed)

@@ -21,7 +21,6 @@ from dataclasses import dataclass
 
 import numpy as np
 
-from ..core.evaluators import MeasurementEvaluator
 from ..core.methods import run_em, run_eml, run_sam, run_saml
 from ..dna.sequence import GENOME_ORDER
 from .context import ExperimentContext

@@ -134,7 +134,8 @@ class AccuracyTable:
     def rows(self) -> list[tuple[object, ...]]:
         """Rows for rendering: per-thread columns plus the average."""
         return [
-            ("absolute [s]", *[round(a, 3) for a in self.absolute_s], round(self.avg_absolute_s, 3)),
+            ("absolute [s]",
+             *[round(a, 3) for a in self.absolute_s], round(self.avg_absolute_s, 3)),
             ("percent [%]", *[round(p, 3) for p in self.percent], round(self.avg_percent, 3)),
         ]
 

@@ -19,8 +19,29 @@ from .perfmodel import (
     HostPerformanceModel,
     WorkloadProfile,
 )
+from .registry import (
+    DEFAULT_PLATFORM_KEY,
+    DUALPHI,
+    FATHOST,
+    MANYCORE,
+    PLATFORMS,
+    SLOWLINK,
+    all_platforms,
+    get_platform,
+    platform_names,
+    register_platform,
+)
 from .simulator import Measurement, PlatformSimulator
-from .spec import EMIL, CPUSpec, PCIeSpec, PhiSpec, PlatformSpec
+from .spec import (
+    DEFAULT_DEVICE_PERF,
+    DEFAULT_HOST_PERF,
+    EMIL,
+    CPUSpec,
+    PCIeSpec,
+    PerfProfile,
+    PhiSpec,
+    PlatformSpec,
+)
 from .topology import (
     PlacementStats,
     Slot,
@@ -50,6 +71,19 @@ __all__ = [
     "PCIeSpec",
     "PhiSpec",
     "PlatformSpec",
+    "PerfProfile",
+    "DEFAULT_HOST_PERF",
+    "DEFAULT_DEVICE_PERF",
+    "DEFAULT_PLATFORM_KEY",
+    "DUALPHI",
+    "FATHOST",
+    "MANYCORE",
+    "PLATFORMS",
+    "SLOWLINK",
+    "all_platforms",
+    "get_platform",
+    "platform_names",
+    "register_platform",
     "PlacementStats",
     "Slot",
     "device_slots",

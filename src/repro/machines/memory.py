@@ -21,23 +21,34 @@ HOST_SCAN_EFFICIENCY = 0.0444
 DEVICE_SCAN_EFFICIENCY = 0.0213
 
 
-def host_scan_roofline_mbs(platform: PlatformSpec, stats: PlacementStats) -> float:
+def host_scan_roofline_mbs(
+    platform: PlatformSpec,
+    stats: PlacementStats,
+    *,
+    efficiency: float | None = None,
+) -> float:
     """Max aggregate host scan rate (MB/s) for a given placement.
 
-    Touching a single socket halves the available controllers; the NUMA
-    interleave of the input buffer still leaks some remote traffic, hence
-    the 0.55 (not 0.5) single-socket factor.
+    ``efficiency`` overrides the Emil-calibrated default (platform specs
+    carry it in ``host_perf.scan_efficiency``).  Touching a single socket
+    halves the available controllers; the NUMA interleave of the input
+    buffer still leaks some remote traffic, hence the 0.55 (not 0.5)
+    single-socket factor.
     """
-    full = platform.host_mem_bandwidth_gbs * 1024.0 * HOST_SCAN_EFFICIENCY
+    if efficiency is None:
+        efficiency = HOST_SCAN_EFFICIENCY
+    full = platform.host_mem_bandwidth_gbs * 1024.0 * efficiency
     if stats.sockets_used >= platform.sockets:
         return full
     fraction = 0.55 * stats.sockets_used / max(1, platform.sockets - 1)
     return full * min(1.0, fraction + 0.45 * (stats.sockets_used - 1))
 
 
-def device_scan_roofline_mbs(device: PhiSpec) -> float:
+def device_scan_roofline_mbs(device: PhiSpec, *, efficiency: float | None = None) -> float:
     """Max aggregate device scan rate (MB/s); the ring makes it placement-free."""
-    return device.mem_bandwidth_gbs * 1024.0 * DEVICE_SCAN_EFFICIENCY
+    if efficiency is None:
+        efficiency = DEVICE_SCAN_EFFICIENCY
+    return device.mem_bandwidth_gbs * 1024.0 * efficiency
 
 
 def combine_rates(linear_rate_mbs: float, roofline_mbs: float) -> float:

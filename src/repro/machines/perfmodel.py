@@ -24,7 +24,12 @@ The model composes, per side:
                   scan_roofline(placement))``
 
 All calibration constants are module-level and documented so ablation
-benchmarks can perturb them.
+benchmarks can perturb them; they are *Emil's* calibration.  Other
+platforms override them through the :class:`~repro.machines.spec.PerfProfile`
+pair carried by their :class:`~repro.machines.spec.PlatformSpec`
+(``host_perf`` / ``device_perf``), which both model classes below read —
+the module constants double as the default profile values, asserted in
+sync by the spec tests.
 """
 
 from __future__ import annotations
@@ -113,7 +118,12 @@ def _aggregate_linear_rate(
 
 
 class HostPerformanceModel:
-    """Noiseless execution-time model for the host side."""
+    """Noiseless execution-time model for the host side.
+
+    All calibration comes from ``platform.host_perf`` (see
+    :class:`~repro.machines.spec.PerfProfile`); with the default Emil
+    profile this reproduces the historical module constants exactly.
+    """
 
     def __init__(
         self,
@@ -122,7 +132,10 @@ class HostPerformanceModel:
     ) -> None:
         self.platform = platform
         self.workload = workload
+        self.perf = platform.host_perf
         self._locality = host_locality_factor(workload.table_kb, platform.cpu)
+        self._ht_yield = self.perf.ht_yield_table
+        self._affinity_rate = self.perf.affinity_rates
 
     def placement(self, threads: int, affinity: str) -> PlacementStats:
         """Placement statistics for a host configuration."""
@@ -131,9 +144,13 @@ class HostPerformanceModel:
     def rate_mbs(self, threads: int, affinity: str) -> float:
         """Aggregate scan rate (MB/s) of ``threads`` host threads."""
         stats = self.placement(threads, affinity)
-        linear = _aggregate_linear_rate(stats, self.workload.host_rate_mbs, HOST_HT_YIELD)
-        linear *= self._locality * HOST_AFFINITY_RATE[affinity]
-        roofline = host_scan_roofline_mbs(self.platform, stats)
+        linear = _aggregate_linear_rate(
+            stats, self.workload.host_rate_mbs * self.perf.rate_scale, self._ht_yield
+        )
+        linear *= self._locality * self._affinity_rate.get(affinity, 1.0)
+        roofline = host_scan_roofline_mbs(
+            self.platform, stats, efficiency=self.perf.scan_efficiency
+        )
         return combine_rates(linear, roofline)
 
     def time(self, threads: int, affinity: str, mb: float) -> float:
@@ -142,7 +159,7 @@ class HostPerformanceModel:
             raise ValueError(f"mb must be >= 0, got {mb}")
         if mb == 0:
             return 0.0
-        spawn = HOST_SPAWN_BASE_S + HOST_SPAWN_PER_LOG2_S * log2_threads(threads)
+        spawn = self.perf.spawn_base_s + self.perf.spawn_per_log2_s * log2_threads(threads)
         return spawn + mb / self.rate_mbs(threads, affinity)
 
 
@@ -162,7 +179,10 @@ class DevicePerformanceModel:
     ) -> None:
         self.platform = platform
         self.workload = workload
+        self.perf = platform.device_perf
         self._locality = device_locality_factor(workload.table_kb, platform.device)
+        self._ht_yield = self.perf.ht_yield_table
+        self._affinity_rate = self.perf.affinity_rates
 
     def placement(self, threads: int, affinity: str) -> PlacementStats:
         """Placement statistics for a device configuration."""
@@ -174,10 +194,12 @@ class DevicePerformanceModel:
         """Aggregate scan rate (MB/s) of ``threads`` device threads."""
         stats = self.placement(threads, affinity)
         linear = _aggregate_linear_rate(
-            stats, self.workload.device_rate_mbs, DEVICE_HT_YIELD
+            stats, self.workload.device_rate_mbs * self.perf.rate_scale, self._ht_yield
         )
-        linear *= self._locality * DEVICE_AFFINITY_RATE[affinity]
-        roofline = device_scan_roofline_mbs(self.platform.device)
+        linear *= self._locality * self._affinity_rate.get(affinity, 1.0)
+        roofline = device_scan_roofline_mbs(
+            self.platform.device, efficiency=self.perf.scan_efficiency
+        )
         return combine_rates(linear, roofline)
 
     def compute_time(self, threads: int, affinity: str, mb: float) -> float:
@@ -186,7 +208,7 @@ class DevicePerformanceModel:
             raise ValueError(f"mb must be >= 0, got {mb}")
         if mb == 0:
             return 0.0
-        spawn = DEVICE_SPAWN_BASE_S + DEVICE_SPAWN_PER_LOG2_S * log2_threads(threads)
+        spawn = self.perf.spawn_base_s + self.perf.spawn_per_log2_s * log2_threads(threads)
         return spawn + mb / self.rate_mbs(threads, affinity)
 
     def time(self, threads: int, affinity: str, mb: float) -> float:

@@ -1,0 +1,245 @@
+"""Named platform registry: the fleet the tuner can target.
+
+The paper evaluates one machine (*Emil*, Table III), but its tuning
+questions — how many threads per side, which affinity, what workload
+split — reappear on every heterogeneous node.  This registry holds a
+fleet of named :class:`~repro.machines.spec.PlatformSpec` instances so
+the tuner, the campaign runner (:mod:`repro.core.campaign`), and the CLI
+(``--platform``) can answer them per platform by name.
+
+Built-in fleet
+--------------
+
+``emil``
+    The paper's platform, bit-for-bit: results obtained through the
+    registry default are identical to the historical hard-wired ones.
+``fathost``
+    A fat-host / weak-device box: four fast 16-core sockets against an
+    entry-level accelerator behind a narrow PCIe link.  Host-heavy
+    splits dominate.
+``dualphi``
+    A dual-accelerator node: Emil's host with two newer, faster Phis on
+    PCIe 3.0.  Device-heavy splits become attractive.
+``manycore``
+    A many-core host with **no** accelerator (two 64-core sockets); the
+    space collapses to host-only configurations.
+``slowlink``
+    Emil degraded by a shared PCIe riser (1.5 GB/s, 80 ms launch):
+    offloading must pay for itself against a hostile interconnect.
+
+``register_platform`` accepts additional specs at runtime (tests use it
+for throwaway platforms); registration is idempotent per key.
+"""
+
+from __future__ import annotations
+
+from .spec import EMIL, CPUSpec, PCIeSpec, PerfProfile, PhiSpec, PlatformSpec
+
+#: Registry storage: lower-case key -> spec, in registration order.
+PLATFORMS: dict[str, PlatformSpec] = {}
+
+
+def register_platform(spec: PlatformSpec, *, key: str | None = None) -> PlatformSpec:
+    """Register ``spec`` under ``key`` (default: its lower-cased name).
+
+    Re-registering the same key with the same spec is a no-op; a
+    different spec under an existing key raises, so names stay
+    unambiguous.
+    """
+    key = (key if key is not None else spec.name).strip().lower()
+    if not key:
+        raise ValueError("platform key must be non-empty")
+    existing = PLATFORMS.get(key)
+    if existing is not None and existing != spec:
+        raise ValueError(f"platform key {key!r} already registered for {existing.name!r}")
+    PLATFORMS[key] = spec
+    return spec
+
+
+def platform_names() -> tuple[str, ...]:
+    """Registered platform keys, in registration order."""
+    return tuple(PLATFORMS)
+
+
+def all_platforms() -> tuple[PlatformSpec, ...]:
+    """All registered specs, in registration order."""
+    return tuple(PLATFORMS.values())
+
+
+def get_platform(name: str | PlatformSpec) -> PlatformSpec:
+    """Resolve a platform by registry key or display name (case-insensitive).
+
+    Passing a :class:`~repro.machines.spec.PlatformSpec` returns it
+    unchanged, so APIs can accept either form.
+    """
+    if isinstance(name, PlatformSpec):
+        return name
+    key = name.strip().lower()
+    spec = PLATFORMS.get(key)
+    if spec is None:
+        for candidate in PLATFORMS.values():
+            if candidate.name.lower() == key:
+                return candidate
+        known = ", ".join(platform_names())
+        raise ValueError(f"unknown platform {name!r}; registered platforms: {known}")
+    return spec
+
+
+# --- the built-in fleet ----------------------------------------------------
+
+#: Fat-host / weak-device box: 4 x 16-core sockets vs an entry Phi 3120A
+#: behind PCIe 2.0 x8.  The per-thread host rate is Emil's x1.35 (newer,
+#: wider cores); the accelerator runs at x0.75 with a lower scan ceiling.
+FATHOST = PlatformSpec(
+    name="FatHost",
+    cpu=CPUSpec(
+        name="Intel Xeon Gold 6346ish",
+        cores=16,
+        threads_per_core=2,
+        base_freq_ghz=2.9,
+        turbo_freq_ghz=3.7,
+        l1_kb=48,
+        l2_kb=1280,
+        l3_mb=36.0,
+        simd_bits=512,
+        mem_bandwidth_gbs=94.0,
+        memory_gb=256.0,
+    ),
+    sockets=4,
+    device=PhiSpec(
+        name="Intel Xeon Phi 3120A",
+        cores=57,
+        os_reserved_cores=1,
+        threads_per_core=4,
+        base_freq_ghz=1.1,
+        turbo_freq_ghz=1.1,
+        l1_kb=32,
+        l2_mb=28.5,
+        simd_bits=512,
+        mem_bandwidth_gbs=240.0,
+        memory_gb=6.0,
+    ),
+    num_devices=1,
+    interconnect=PCIeSpec(name="PCIe 2.0 x8", effective_bandwidth_gbs=3.0, latency_s=0.040),
+    host_perf=PerfProfile(
+        rate_scale=1.35,
+        ht_yield=(1.0, 1.45),
+        spawn_base_s=0.0015,
+        spawn_per_log2_s=0.0005,
+        affinity_rate=(("none", 0.97), ("scatter", 1.0), ("compact", 1.04)),
+        scan_efficiency=0.040,
+        noise_sigma=0.018,
+        noise_scale=(("none", 1.5),),
+    ),
+    device_perf=PerfProfile(
+        rate_scale=0.75,
+        ht_yield=(1.0, 1.55, 1.95, 2.3),
+        spawn_base_s=0.012,
+        spawn_per_log2_s=0.003,
+        affinity_rate=(("balanced", 1.0), ("scatter", 0.98), ("compact", 1.02)),
+        scan_efficiency=0.019,
+        noise_sigma=0.028,
+    ),
+    description="4 fast 16-core sockets, entry-level accelerator, narrow PCIe",
+)
+
+#: Dual-accelerator node: Emil's host feeding two Phi 7290s over PCIe 3.0.
+#: Newer device cores run at x1.25 with a slightly better SMT curve.
+#: The host/device tuning path models the *primary* card (its grids use
+#: one card's 284 threads); the second card only matters to the
+#: multi-accelerator runtime in :mod:`repro.runtime.multidevice`, so
+#: what makes this platform's campaign rows differ from Emil's is the
+#: faster device and link, not the card count.
+DUALPHI = PlatformSpec(
+    name="DualPhi",
+    cpu=EMIL.cpu,
+    sockets=2,
+    device=PhiSpec(
+        name="Intel Xeon Phi 7290",
+        cores=72,
+        os_reserved_cores=1,
+        threads_per_core=4,
+        base_freq_ghz=1.5,
+        turbo_freq_ghz=1.7,
+        l1_kb=32,
+        l2_mb=36.0,
+        simd_bits=512,
+        mem_bandwidth_gbs=400.0,
+        memory_gb=16.0,
+    ),
+    num_devices=2,
+    interconnect=PCIeSpec(
+        name="PCIe 3.0 x16", effective_bandwidth_gbs=11.0, latency_s=0.020
+    ),
+    host_perf=EMIL.host_perf,
+    device_perf=PerfProfile(
+        rate_scale=1.25,
+        ht_yield=(1.0, 1.6, 2.05, 2.4),
+        spawn_base_s=0.008,
+        spawn_per_log2_s=0.0025,
+        affinity_rate=(("balanced", 1.0), ("scatter", 0.98), ("compact", 1.02)),
+        scan_efficiency=0.0213,
+        noise_sigma=0.022,
+    ),
+    description="Emil's host with two Xeon Phi 7290 cards on PCIe 3.0",
+)
+
+#: Many-core host with no accelerator: two 64-core sockets, 256 hardware
+#: threads.  Only host-side parameters matter; the campaign exercises
+#: the degenerate host-only space.
+MANYCORE = PlatformSpec(
+    name="ManyCore",
+    cpu=CPUSpec(
+        name="AMD EPYC 7742ish",
+        cores=64,
+        threads_per_core=2,
+        base_freq_ghz=2.25,
+        turbo_freq_ghz=3.4,
+        l1_kb=32,
+        l2_kb=512,
+        l3_mb=256.0,
+        simd_bits=256,
+        mem_bandwidth_gbs=190.7,
+        memory_gb=512.0,
+    ),
+    sockets=2,
+    num_devices=0,
+    host_perf=PerfProfile(
+        rate_scale=1.1,
+        ht_yield=(1.0, 1.4),
+        spawn_base_s=0.002,
+        spawn_per_log2_s=0.0007,
+        affinity_rate=(("none", 0.97), ("scatter", 1.0), ("compact", 1.03)),
+        scan_efficiency=0.036,
+        noise_sigma=0.015,
+        noise_scale=(("none", 1.6),),
+    ),
+    device_perf=EMIL.device_perf,
+    description="two 64-core sockets, no accelerator installed",
+)
+
+#: Emil behind a shared PCIe riser: offload latency and bandwidth are an
+#: order of magnitude worse, so the optimizer must learn to keep work on
+#: the host for all but the largest inputs.
+SLOWLINK = PlatformSpec(
+    name="SlowLink",
+    cpu=EMIL.cpu,
+    sockets=EMIL.sockets,
+    device=EMIL.device,
+    num_devices=1,
+    interconnect=PCIeSpec(
+        name="PCIe riser (shared)", effective_bandwidth_gbs=1.5, latency_s=0.080
+    ),
+    host_perf=EMIL.host_perf,
+    device_perf=EMIL.device_perf,
+    description="Emil with a degraded interconnect (1.5 GB/s, 80 ms launch)",
+)
+
+#: Default registry key (the paper's platform).
+DEFAULT_PLATFORM_KEY = "emil"
+
+register_platform(EMIL, key=DEFAULT_PLATFORM_KEY)
+register_platform(FATHOST)
+register_platform(DUALPHI)
+register_platform(MANYCORE)
+register_platform(SLOWLINK)

@@ -30,7 +30,9 @@ from .spec import EMIL, PlatformSpec
 
 #: Relative measurement noise (sigma of log-normal). The paper's
 #: prediction errors (5.2% host, 3.1% device) lower-bound how noisy the
-#: underlying measurements can be.
+#: underlying measurements can be.  These are Emil's values; other
+#: platforms carry their own in ``PlatformSpec.host_perf.noise_sigma`` /
+#: ``device_perf.noise_sigma``, which the simulator reads.
 HOST_NOISE_SIGMA = 0.020
 DEVICE_NOISE_SIGMA = 0.025
 NONE_AFFINITY_NOISE_SCALE = 1.6
@@ -89,9 +91,8 @@ class PlatformSimulator:
     def _noise_factor(self, side: str, threads: int, affinity: str, mb: float) -> float:
         if not self.noise:
             return 1.0
-        sigma = HOST_NOISE_SIGMA if side == "host" else DEVICE_NOISE_SIGMA
-        if side == "host" and affinity == "none":
-            sigma *= NONE_AFFINITY_NOISE_SCALE
+        perf = self.platform.host_perf if side == "host" else self.platform.device_perf
+        sigma = perf.noise_sigma * perf.noise_scales.get(affinity, 1.0)
         key = f"{self.seed}|{side}|{threads}|{affinity}|{mb:.6f}".encode()
         rng = np.random.default_rng(zlib.crc32(key))
         return float(np.exp(rng.normal(0.0, sigma)))

@@ -1,10 +1,16 @@
-"""Hardware specifications of the target heterogeneous platform.
+"""Hardware specifications of heterogeneous target platforms.
 
-This module encodes Table III of the paper ("Emil: hardware architecture"):
-a host with two 12-core Intel Xeon E5-2695v2 CPUs and an Intel Xeon Phi
-7120P co-processor with 61 cores.  The specs drive the analytic
-performance model in :mod:`repro.machines.perfmodel` and the thread
-placement logic in :mod:`repro.machines.affinity`.
+This module encodes Table III of the paper ("Emil: hardware architecture")
+— a host with two 12-core Intel Xeon E5-2695v2 CPUs and an Intel Xeon Phi
+7120P co-processor with 61 cores — and generalizes it so *any* platform
+can be described: a :class:`PlatformSpec` carries the structural specs
+(sockets, cores, interconnect) plus two :class:`PerfProfile` instances
+that fully parameterize the analytic performance model in
+:mod:`repro.machines.perfmodel` (per-thread throughput scaling,
+hyper-threading yields, spawn costs, affinity penalties, scan-roofline
+efficiency) and the measurement-noise model in
+:mod:`repro.machines.simulator`.  Named platforms beyond Emil live in
+:mod:`repro.machines.registry`.
 
 The dataclasses are deliberately plain data: every derived quantity
 (total hardware threads, usable cores, aggregate bandwidth) is exposed as
@@ -99,6 +105,106 @@ class PhiSpec:
 
 
 @dataclass(frozen=True)
+class PerfProfile:
+    """Calibration of one side's performance and noise models.
+
+    Together with the structural specs (cores, frequencies, bandwidth)
+    this fully determines what :mod:`repro.machines.perfmodel` and
+    :mod:`repro.machines.simulator` compute for a platform, so new
+    platforms need no code changes — only data.
+
+    Attributes
+    ----------
+    rate_scale:
+        Multiplier on the workload's single-thread scan rate.  1.0 means
+        "a core like Emil's"; a fat-host platform with faster cores uses
+        > 1, a weaker accelerator < 1.
+    ht_yield:
+        Entry ``k-1`` is the total throughput of one core running ``k``
+        hardware threads, relative to one thread (the SMT yield curve).
+    spawn_base_s / spawn_per_log2_s:
+        Fork-join cost: fixed serial part plus a tree-barrier term
+        growing with log2(threads).
+    affinity_rate:
+        ``(affinity, multiplier)`` pairs: placement-independent rate
+        effect of each affinity policy.
+    scan_efficiency:
+        Fraction of STREAM bandwidth a dependent-lookup scan sustains
+        (the scan-roofline factor in :mod:`repro.machines.memory`).
+    noise_sigma:
+        Relative measurement noise (sigma of the log-normal factor).
+    noise_scale:
+        ``(affinity, multiplier)`` pairs of extra noise for policies
+        with placement jitter (Emil's host ``none`` affinity).
+    """
+
+    rate_scale: float = 1.0
+    ht_yield: tuple[float, ...] = (1.0,)
+    spawn_base_s: float = 0.0
+    spawn_per_log2_s: float = 0.0
+    affinity_rate: tuple[tuple[str, float], ...] = ()
+    scan_efficiency: float = 1.0
+    noise_sigma: float = 0.0
+    noise_scale: tuple[tuple[str, float], ...] = ()
+
+    @property
+    def ht_yield_table(self) -> dict[int, float]:
+        """The yield curve as an ``occupancy -> throughput`` mapping."""
+        return {k + 1: v for k, v in enumerate(self.ht_yield)}
+
+    @property
+    def affinity_rates(self) -> dict[str, float]:
+        """Affinity rate multipliers as a mapping."""
+        return dict(self.affinity_rate)
+
+    @property
+    def noise_scales(self) -> dict[str, float]:
+        """Per-affinity extra noise multipliers as a mapping."""
+        return dict(self.noise_scale)
+
+    def __post_init__(self) -> None:
+        if self.rate_scale <= 0:
+            raise ValueError(f"rate_scale must be positive, got {self.rate_scale}")
+        if not self.ht_yield or any(y <= 0 for y in self.ht_yield):
+            raise ValueError(f"ht_yield must be non-empty and positive, got {self.ht_yield}")
+        if self.spawn_base_s < 0 or self.spawn_per_log2_s < 0:
+            raise ValueError("spawn costs must be non-negative")
+        if not 0.0 < self.scan_efficiency <= 1.0:
+            raise ValueError(
+                f"scan_efficiency must be in (0, 1], got {self.scan_efficiency}"
+            )
+        if self.noise_sigma < 0:
+            raise ValueError(f"noise_sigma must be >= 0, got {self.noise_sigma}")
+
+
+#: Emil's host-side calibration (the historical module constants of
+#: :mod:`repro.machines.perfmodel` / ``memory`` / ``simulator``, which a
+#: regression test keeps in sync with these values).
+DEFAULT_HOST_PERF = PerfProfile(
+    rate_scale=1.0,
+    ht_yield=(1.0, 1.5),
+    spawn_base_s=0.002,
+    spawn_per_log2_s=0.0005,
+    affinity_rate=(("none", 0.97), ("scatter", 1.0), ("compact", 1.05)),
+    scan_efficiency=0.0444,
+    noise_sigma=0.020,
+    noise_scale=(("none", 1.6),),
+)
+
+#: Emil's device-side calibration.
+DEFAULT_DEVICE_PERF = PerfProfile(
+    rate_scale=1.0,
+    ht_yield=(1.0, 1.55, 1.95, 2.3),
+    spawn_base_s=0.010,
+    spawn_per_log2_s=0.003,
+    affinity_rate=(("balanced", 1.0), ("scatter", 0.98), ("compact", 1.02)),
+    scan_efficiency=0.0213,
+    noise_sigma=0.025,
+    noise_scale=(),
+)
+
+
+@dataclass(frozen=True)
 class PCIeSpec:
     """Host-device interconnect (PCIe 2.0 x16 for the 7120P).
 
@@ -134,6 +240,9 @@ class PlatformSpec:
     device: PhiSpec = field(default_factory=PhiSpec)
     num_devices: int = 1
     interconnect: PCIeSpec = field(default_factory=PCIeSpec)
+    host_perf: PerfProfile = DEFAULT_HOST_PERF
+    device_perf: PerfProfile = DEFAULT_DEVICE_PERF
+    description: str = ""
 
     @property
     def host_cores(self) -> int:
@@ -149,6 +258,25 @@ class PlatformSpec:
     def host_mem_bandwidth_gbs(self) -> float:
         """Aggregate host memory bandwidth across sockets."""
         return self.cpu.mem_bandwidth_gbs * self.sockets
+
+    @property
+    def has_device(self) -> bool:
+        """Whether any accelerator is installed (Emil has one Phi)."""
+        return self.num_devices > 0
+
+    @property
+    def max_device_threads(self) -> int:
+        """Application threads one accelerator card offers (0 if none)."""
+        return self.device.usable_hardware_threads if self.has_device else 0
+
+    def require_device(self, what: str) -> None:
+        """Raise ``ValueError`` when no accelerator is installed.
+
+        ``what`` completes the message with what the caller needed the
+        device for.
+        """
+        if not self.has_device:
+            raise ValueError(f"platform {self.name!r} has no accelerator; {what}")
 
     def with_devices(self, num_devices: int) -> "PlatformSpec":
         """Return a copy of this platform with a different accelerator count."""
@@ -166,4 +294,4 @@ class PlatformSpec:
 
 
 #: The paper's experimentation platform (Table III).
-EMIL = PlatformSpec()
+EMIL = PlatformSpec(description="the paper's experimentation platform (Table III)")

@@ -7,8 +7,6 @@ discrete GA for the ablation comparison against simulated annealing.
 
 from __future__ import annotations
 
-from dataclasses import replace
-
 import numpy as np
 
 from ..core.params import ParameterSpace, SystemConfiguration

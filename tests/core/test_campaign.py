@@ -1,0 +1,120 @@
+"""Cross-platform tuning campaigns (core/campaign.py)."""
+
+import pytest
+
+from repro.core import platform_space, tune_campaign, tune_platform
+from repro.core.campaign import CampaignResult
+from repro.machines import MANYCORE, get_platform, platform_names
+
+SIZE_MB = 600.0
+ITERS = 120
+
+
+@pytest.fixture(scope="module")
+def sam_campaign() -> CampaignResult:
+    """One small SAM campaign across the whole registered fleet."""
+    return tune_campaign(method="SAM", size_mb=SIZE_MB, iterations=ITERS, seed=0)
+
+
+class TestTunePlatform:
+    def test_report_fields_are_consistent(self):
+        r = tune_platform("emil", method="SAM", size_mb=SIZE_MB, iterations=ITERS)
+        assert r.platform == "Emil"
+        assert r.method == "SAM"
+        assert r.space_size == 19926
+        assert r.measured_time > 0 and r.em_time > 0
+        assert r.config in platform_space(get_platform("emil"))
+
+    def test_method_never_beats_the_enumeration_optimum(self):
+        # EM scans the same deterministic measurement landscape the
+        # method searches, so the method's config can only tie it.
+        r = tune_platform("slowlink", method="SAM", size_mb=SIZE_MB, iterations=ITERS)
+        assert r.quality_vs_em >= 1.0
+
+    def test_budget_is_a_small_fraction_of_enumeration(self):
+        r = tune_platform("dualphi", method="SAM", size_mb=SIZE_MB, iterations=ITERS)
+        assert r.experiments < r.space_size
+        assert 0.0 < r.budget_fraction < 0.1
+        assert r.speedup_vs_em_budget > 10
+
+    def test_deviceless_platform_tunes_host_only(self):
+        r = tune_platform("manycore", method="SAM", size_mb=SIZE_MB, iterations=ITERS)
+        assert r.config.host_fraction == 100.0
+        assert r.device_only_time is None
+        assert r.speedup_vs_device_only is None
+        assert r.space_size == len(platform_space(MANYCORE))
+
+    def test_ml_method_rejected_without_a_device(self):
+        with pytest.raises(ValueError, match="no accelerator"):
+            tune_platform("manycore", method="SAML", size_mb=SIZE_MB, iterations=ITERS)
+
+    def test_em_method_reports_full_budget(self):
+        r = tune_platform("manycore", method="EM", size_mb=SIZE_MB)
+        assert r.experiments == r.space_size
+        assert r.quality_vs_em == pytest.approx(1.0)
+
+
+class TestTuneCampaign:
+    def test_covers_every_registered_platform(self, sam_campaign):
+        assert len(sam_campaign) == len(platform_names())
+        assert {r.platform.lower() for r in sam_campaign} == set(platform_names())
+
+    def test_rows_align_with_headers(self, sam_campaign):
+        headers = sam_campaign.table_headers()
+        for row in sam_campaign.table_rows():
+            assert len(row) == len(headers)
+
+    def test_report_lookup_by_name(self, sam_campaign):
+        assert sam_campaign.report("emil").platform == "Emil"
+        with pytest.raises(KeyError):
+            sam_campaign.report("cray-1")
+
+    def test_best_platform_is_the_fastest(self, sam_campaign):
+        best = sam_campaign.best_platform()
+        assert best.measured_time == min(r.measured_time for r in sam_campaign)
+
+    def test_explicit_platform_subset(self):
+        res = tune_campaign(
+            ("emil", "slowlink"), method="SAM", size_mb=SIZE_MB, iterations=ITERS
+        )
+        assert [r.platform for r in res] == ["Emil", "SlowLink"]
+
+    def test_saml_trains_and_tunes_a_platform(self):
+        # ML search costs no experiments beyond the final measurement.
+        res = tune_campaign(
+            ("emil",), method="SAML", size_mb=SIZE_MB, iterations=ITERS
+        )
+        assert res.report("emil").experiments == 1  # only the final measurement
+
+    def test_ml_campaign_skips_deviceless_platforms(self, monkeypatch):
+        from repro.core import campaign as campaign_mod
+
+        seen = []
+
+        def fake_tune_platform(name, **kwargs):
+            seen.append(name)
+            return tune_platform(name, method="EM", size_mb=SIZE_MB)
+
+        monkeypatch.setattr(campaign_mod, "tune_platform", fake_tune_platform)
+        campaign_mod.tune_campaign(method="SAML", size_mb=SIZE_MB)
+        assert "manycore" not in seen
+        assert "emil" in seen
+
+    def test_empty_campaign_rejected(self):
+        with pytest.raises(ValueError, match="at least one platform"):
+            tune_campaign(())
+
+    def test_process_fanout_matches_serial_results(self, sam_campaign):
+        fanned = tune_campaign(
+            method="SAM", size_mb=SIZE_MB, iterations=ITERS, seed=0, processes=2
+        )
+        assert [r.config for r in fanned] == [r.config for r in sam_campaign]
+        assert [r.measured_time for r in fanned] == [
+            r.measured_time for r in sam_campaign
+        ]
+
+    def test_engine_none_disables_engine_stats(self):
+        res = tune_campaign(
+            ("emil",), method="SAM", size_mb=SIZE_MB, iterations=40, engine=None
+        )
+        assert res.report("emil").engine_batches == 0

@@ -141,3 +141,58 @@ class TestSpaceOperations:
     def test_rejects_bad_fraction_steps(self):
         with pytest.raises(ValueError, match="max_fraction_steps"):
             ParameterSpace(max_fraction_steps=0)
+
+
+class TestPlatformSpace:
+    """Platform-fitted configuration spaces (platform_space)."""
+
+    def test_emil_gets_exactly_the_default_space(self):
+        from repro.core import platform_space
+        from repro.machines import EMIL
+
+        assert platform_space(EMIL) is DEFAULT_SPACE
+
+    def test_grids_respect_platform_capacities(self):
+        from repro.core import platform_space
+        from repro.machines import all_platforms
+
+        for spec in all_platforms():
+            space = platform_space(spec)
+            assert max(space.host_threads) == spec.host_hardware_threads
+            if spec.has_device:
+                assert max(space.device_threads) == spec.max_device_threads
+            assert min(space.host_threads) >= 1
+
+    def test_grid_shape_scales_with_capacity(self):
+        from repro.core import platform_space
+        from repro.machines import FATHOST
+
+        space = platform_space(FATHOST)
+        # Same number of host grid points as Emil's, rescaled to 128.
+        assert len(space.host_threads) == len(EVAL_HOST_THREADS)
+        assert space.host_threads[-1] == 128
+
+    def test_deviceless_platform_collapses_to_host_only(self):
+        from repro.core import platform_space
+        from repro.machines import MANYCORE
+
+        space = platform_space(MANYCORE)
+        assert space.fractions == (100.0,)
+        assert space.device_threads == (1,)
+        assert len(space.device_affinities) == 1
+        assert space.size() == len(space.host_threads) * 3
+        for config in space:
+            assert config.host_fraction == 100.0
+
+    def test_every_fitted_config_is_measurable(self):
+        from repro.core import platform_space
+        from repro.machines import PlatformSimulator, all_platforms
+
+        for spec in all_platforms():
+            space = platform_space(spec)
+            sim = PlatformSimulator(spec, seed=0)
+            assert sim.measure_host(max(space.host_threads), "scatter", 10.0) > 0
+            if spec.has_device:
+                assert (
+                    sim.measure_device(max(space.device_threads), "balanced", 10.0) > 0
+                )

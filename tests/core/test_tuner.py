@@ -56,3 +56,36 @@ class TestTune:
         t = WorkDistributionTuner(space=SMALL_SPACE, seed=2)
         outcome = t.tune(2000.0, method="SAM", iterations=100)
         assert outcome.result.method == "SAM"
+
+
+class TestPlatformSelection:
+    """Tuner construction from the platform registry."""
+
+    def test_accepts_registry_names(self):
+        from repro.machines import FATHOST
+
+        t = WorkDistributionTuner("fathost", seed=0)
+        assert t.platform is FATHOST
+        assert max(t.space.host_threads) == FATHOST.host_hardware_threads
+
+    def test_default_platform_space_is_the_papers(self):
+        from repro.core import DEFAULT_SPACE
+
+        assert WorkDistributionTuner().space is DEFAULT_SPACE
+
+    def test_unknown_name_rejected(self):
+        with pytest.raises(ValueError, match="unknown platform"):
+            WorkDistributionTuner("cray-1")
+
+    def test_sam_tunes_a_deviceless_platform(self):
+        t = WorkDistributionTuner("manycore", seed=0)
+        outcome = t.tune(800.0, method="SAM", iterations=80)
+        assert outcome.config.host_fraction == 100.0
+        assert outcome.device_only is None
+        with pytest.raises(ValueError, match="no accelerator"):
+            outcome.speedup_vs_device_only
+
+    def test_training_rejected_without_a_device(self):
+        t = WorkDistributionTuner("manycore", seed=0)
+        with pytest.raises(ValueError, match="no accelerator"):
+            t.train()

@@ -88,3 +88,87 @@ class TestEngineFlags:
     def test_batched_engine_flag_accepted_for_studies(self):
         """--engine parses for study artifacts too (cheap artifact here)."""
         assert main(["table2", "--engine", "batched"]) == 0
+
+
+class TestPlatformFlags:
+    """End-to-end coverage of --platform and the campaign/platforms artifacts."""
+
+    def test_platforms_artifact_lists_the_registry(self, capsys):
+        assert main(["platforms"]) == 0
+        out = capsys.readouterr().out
+        for name in ("Emil", "FatHost", "DualPhi", "ManyCore", "SlowLink"):
+            assert name in out
+
+    def test_unknown_platform_is_an_error(self, capsys):
+        assert main(["tune", "--platform", "cray-1"]) == 2
+        err = capsys.readouterr().err
+        assert "unknown platform" in err
+        assert "emil" in err
+
+    def test_tune_on_a_named_platform(self, capsys):
+        code = main([
+            "tune", "--method", "SAM", "--iterations", "60",
+            "--platform", "fathost",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "on FatHost" in out
+        assert "configuration" in out
+
+    def test_tune_default_platform_matches_explicit_emil(self, capsys):
+        args = ["tune", "--method", "SAM", "--iterations", "60"]
+        assert main(args) == 0
+        default = capsys.readouterr().out
+        assert main([*args, "--platform", "emil"]) == 0
+        explicit = capsys.readouterr().out
+        assert default == explicit
+        assert "on Emil" in default
+
+    def test_tune_ml_method_rejected_on_deviceless_platform(self, capsys):
+        code = main([
+            "tune", "--method", "SAML", "--platform", "manycore",
+            "--iterations", "40",
+        ])
+        assert code == 2
+        assert "no accelerator" in capsys.readouterr().err
+
+    def test_campaign_covers_the_fleet(self, capsys):
+        code = main(["campaign", "--iterations", "80", "--size-mb", "500"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "Campaign: SAM" in out
+        for name in ("Emil", "FatHost", "DualPhi", "ManyCore", "SlowLink"):
+            assert name in out
+        assert "fastest platform" in out
+
+    def test_campaign_platform_subset(self, capsys):
+        code = main([
+            "campaign", "--platforms", "emil,slowlink",
+            "--iterations", "60", "--size-mb", "500",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "Emil" in out and "SlowLink" in out
+        assert "FatHost" not in out
+
+    def test_campaign_unknown_platform_is_an_error(self, capsys):
+        code = main(["campaign", "--platforms", "emil,nope"])
+        assert code == 2
+        assert "unknown platform" in capsys.readouterr().err
+
+    def test_table3_follows_the_platform(self, capsys):
+        assert main(["table3", "--platform", "dualphi"]) == 0
+        out = capsys.readouterr().out
+        assert "DualPhi" in out
+        assert "7290" in out
+
+    def test_campaign_honors_platform_flag(self, capsys):
+        code = main([
+            "campaign", "--platform", "fathost",
+            "--iterations", "60", "--size-mb", "500",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "FatHost" in out
+        assert "Emil" not in out
+        assert "across 1 platforms" in out
