@@ -1,0 +1,131 @@
+#!/usr/bin/env python
+"""Compare a pytest-benchmark JSON run against a committed baseline.
+
+Usage::
+
+    python benchmarks/compare.py BENCH_engine.json \
+        [--baseline benchmarks/baseline.json] [--max-regression 0.30]
+    python benchmarks/compare.py BENCH_engine.json --update
+
+The baseline maps benchmark names to throughput metrics recorded in each
+benchmark's ``extra_info`` (see ``test_bench_engine.py``).  The tracked
+metrics are *ratios* (e.g. batched-over-serial speedup), so a slower CI
+runner cancels out and the gate only trips on genuine throughput
+regressions.  A run fails when any tracked metric drops more than
+``--max-regression`` (default 30 %) below its baseline; higher is never
+a failure.  ``--update`` rewrites the baseline from the given run
+instead of comparing.
+
+Absolute metrics in the baseline (anything ending in ``_per_s``) are
+reported but never gate: they depend on the machine that recorded them.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+DEFAULT_BASELINE = Path(__file__).parent / "baseline.json"
+DEFAULT_MAX_REGRESSION = 0.30
+
+
+def load_run_metrics(path: Path) -> dict[str, dict[str, float]]:
+    """Extract ``{benchmark name: extra_info metrics}`` from a run JSON."""
+    data = json.loads(path.read_text())
+    metrics: dict[str, dict[str, float]] = {}
+    for bench in data.get("benchmarks", []):
+        extra = {
+            k: float(v)
+            for k, v in bench.get("extra_info", {}).items()
+            if isinstance(v, (int, float))
+        }
+        if extra:
+            metrics[bench["name"]] = extra
+    return metrics
+
+
+def is_informational(metric: str) -> bool:
+    """Absolute (machine-dependent) metrics report but never gate."""
+    return metric.endswith("_per_s")
+
+
+def compare(
+    run: dict[str, dict[str, float]],
+    baseline: dict[str, dict[str, float]],
+    max_regression: float,
+) -> list[str]:
+    """Return a list of failure messages (empty = pass), printing a report."""
+    failures: list[str] = []
+    for name, base_metrics in sorted(baseline.items()):
+        run_metrics = run.get(name)
+        if run_metrics is None:
+            failures.append(f"{name}: benchmark missing from this run")
+            continue
+        for metric, base_value in sorted(base_metrics.items()):
+            value = run_metrics.get(metric)
+            if value is None:
+                failures.append(f"{name}.{metric}: metric missing from this run")
+                continue
+            change = (value - base_value) / base_value
+            floor = base_value * (1.0 - max_regression)
+            gate = "info" if is_informational(metric) else "gate"
+            status = "ok" if (value >= floor or gate == "info") else "FAIL"
+            print(
+                f"  [{status:>4}] {name}.{metric}: {value:.3f} "
+                f"(baseline {base_value:.3f}, {change:+.1%}, {gate})"
+            )
+            if status == "FAIL":
+                failures.append(
+                    f"{name}.{metric}: {value:.3f} is more than "
+                    f"{max_regression:.0%} below baseline {base_value:.3f}"
+                )
+    return failures
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("run_json", type=Path, help="pytest-benchmark JSON output")
+    parser.add_argument(
+        "--baseline", type=Path, default=DEFAULT_BASELINE,
+        help=f"committed baseline (default: {DEFAULT_BASELINE})",
+    )
+    parser.add_argument(
+        "--max-regression", type=float, default=DEFAULT_MAX_REGRESSION,
+        help="maximum tolerated fractional drop per gated metric (default: 0.30)",
+    )
+    parser.add_argument(
+        "--update", action="store_true",
+        help="rewrite the baseline from this run instead of comparing",
+    )
+    args = parser.parse_args(argv)
+
+    run = load_run_metrics(args.run_json)
+    if not run:
+        print(f"error: no extra_info metrics found in {args.run_json}", file=sys.stderr)
+        return 2
+
+    if args.update:
+        args.baseline.write_text(json.dumps(run, indent=2, sort_keys=True) + "\n")
+        print(f"baseline updated: {args.baseline}")
+        return 0
+
+    if not args.baseline.exists():
+        print(f"error: baseline {args.baseline} not found", file=sys.stderr)
+        return 2
+    baseline = json.loads(args.baseline.read_text())
+    print(f"comparing {args.run_json} against {args.baseline} "
+          f"(max regression {args.max_regression:.0%}):")
+    failures = compare(run, baseline, args.max_regression)
+    if failures:
+        print()
+        for failure in failures:
+            print(f"regression: {failure}", file=sys.stderr)
+        return 1
+    print("benchmark throughput within tolerance")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

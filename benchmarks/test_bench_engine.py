@@ -51,6 +51,11 @@ def test_engine_throughput(benchmark, ctx):
         return t_serial, t_batched, t_cached
 
     t_serial, t_batched, t_cached = run_once(benchmark, compare)
+    # Machine-portable throughput metrics for the CI regression gate
+    # (benchmarks/compare.py): speedup ratios cancel the runner's speed.
+    benchmark.extra_info["batched_speedup"] = t_serial / t_batched
+    benchmark.extra_info["cached_speedup"] = t_serial / t_cached
+    benchmark.extra_info["batched_configs_per_s"] = N_CONFIGS / t_batched
     rows = [
         ("SerialEngine", 1e3 * t_serial, N_CONFIGS / t_serial, 1.0),
         ("BatchedEngine", 1e3 * t_batched, N_CONFIGS / t_batched, t_serial / t_batched),

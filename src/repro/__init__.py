@@ -44,9 +44,11 @@ Subpackages
 from .core import (
     DEFAULT_SPACE,
     CampaignResult,
+    MatrixResult,
     MethodResult,
     ParameterSpace,
     PlatformTuneReport,
+    ScenarioReport,
     SimulatedAnnealing,
     SystemConfiguration,
     TuningOutcome,
@@ -57,9 +59,18 @@ from .core import (
     run_sam,
     run_saml,
     tune_campaign,
+    tune_matrix,
     tune_platform,
+    tune_scenario,
+    workload_space,
 )
-from .dna import DNASequenceAnalysis
+from .dna import (
+    DNASequenceAnalysis,
+    WorkloadSpec,
+    get_workload,
+    register_workload,
+    workload_names,
+)
 from .machines import (
     EMIL,
     PerfProfile,
@@ -84,14 +95,23 @@ __all__ = [
     "SystemConfiguration",
     "TuningOutcome",
     "WorkDistributionTuner",
+    "MatrixResult",
+    "ScenarioReport",
     "platform_space",
+    "workload_space",
     "run_em",
     "run_eml",
     "run_sam",
     "run_saml",
     "tune_campaign",
+    "tune_matrix",
     "tune_platform",
+    "tune_scenario",
     "DNASequenceAnalysis",
+    "WorkloadSpec",
+    "get_workload",
+    "register_workload",
+    "workload_names",
     "EMIL",
     "PerfProfile",
     "PlatformSimulator",

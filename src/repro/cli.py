@@ -2,9 +2,9 @@
 
 Artifacts: ``fig2``, ``fig5``, ``fig6``, ``fig7``, ``fig8``, ``table2``,
 ``table4``, ``table5``, ``table6``, ``table7``, ``table8``, ``table9``,
-``fig9``, ``summary``, ``tune``, ``platforms``, ``campaign``, or
-``all``.  Everything prints as plain-text tables mirroring the paper's
-figures and tables.
+``fig9``, ``summary``, ``tune``, ``platforms``, ``workloads``,
+``campaign``, ``matrix``, or ``all``.  Everything prints as plain-text
+tables mirroring the paper's figures and tables.
 
 ``tune`` runs one optimization method end-to-end and prints the
 suggested system configuration; ``--engine``/``--batch-size`` select
@@ -12,10 +12,14 @@ the evaluation backend (serial / cached / batched — see
 :mod:`repro.core.engine`) for it and for the fig9/table studies.
 
 ``--platform`` selects a registered platform (default: the paper's
-``emil``) for ``tune`` and the experiment artifacts; ``platforms``
-lists the registry; ``campaign`` runs one tuning method across every
-registered platform and prints a per-platform comparison table (see
-:mod:`repro.core.campaign`).
+``emil``) and ``--workload`` a registered workload (default: the
+paper's ``dna-paper``) for ``tune`` and the experiment artifacts;
+``platforms`` / ``workloads`` list the registries; ``campaign`` runs
+one tuning method across every registered platform, and ``matrix``
+crosses the workload registry with the platform registry and prints a
+per-cell comparison table (see :mod:`repro.core.campaign`).
+``--budget-scale small`` shrinks ``matrix`` to a 3x3 subset with a
+capped iteration budget — the CI smoke configuration.
 """
 
 from __future__ import annotations
@@ -26,6 +30,7 @@ import time
 
 from .core.methods import METHOD_PROPERTIES
 from .dna.sequence import GENOME_ORDER
+from .dna.workloads import DEFAULT_WORKLOAD_KEY, get_workload
 from .experiments import (
     CHECKPOINTS,
     fig5_curves,
@@ -47,8 +52,15 @@ ARTIFACTS = (
     "fig2", "fig5", "fig6", "fig7", "fig8", "fig9",
     "table1", "table2", "table3",
     "table4", "table5", "table6", "table7", "table8", "table9",
-    "summary", "tune", "platforms", "campaign", "all",
+    "summary", "tune", "platforms", "workloads", "campaign", "matrix", "all",
 )
+
+#: The ``--budget-scale small`` matrix subset: three workloads spanning
+#: the input-scale regimes x three platforms spanning the fleet, with a
+#: capped annealing budget — small enough for a CI smoke job.
+SMALL_MATRIX_WORKLOADS = ("dna-paper", "short-read", "dense-motif")
+SMALL_MATRIX_PLATFORMS = ("emil", "fathost", "slowlink")
+SMALL_MATRIX_MAX_ITERATIONS = 150
 
 
 def _print_table1() -> None:
@@ -115,6 +127,34 @@ def _print_platforms() -> None:
     print()
 
 
+def _print_workloads() -> None:
+    from .core.params import workload_fractions
+    from .dna.workloads import all_workloads
+
+    rows = []
+    for spec in all_workloads():
+        n_fracs = len(workload_fractions(spec))
+        grid = {21: "coarse", 41: "paper", 81: "fine"}.get(n_fracs, str(n_fracs))
+        rows.append((
+            spec.name,
+            f"{spec.sequence_mb:g}",
+            spec.alphabet_size,
+            f"{spec.n_patterns} ({min(spec.pattern_lengths)}-{max(spec.pattern_lengths)})",
+            f"{spec.match_density:.2g}",
+            spec.automaton_states,
+            f"{spec.table_kb:.2f}",
+            grid,
+            spec.description or "-",
+        ))
+    print(render_table(
+        ["Workload", "Input [MB]", "Alphabet", "Patterns (len)", "Matches/char",
+         "States", "Table [KB]", "Fractions", "Notes"],
+        rows,
+        title="Registered workloads (select with --workload)",
+    ))
+    print()
+
+
 def _print_fig2(ctx) -> None:
     for name, res in run_fig2(ctx.sim).items():
         print(
@@ -171,25 +211,28 @@ def _print_accuracy_table(t, title: str) -> None:
     print()
 
 
-def _run_tune(platform, args, engine) -> int:
+def _run_tune(platform, workload, args, engine) -> int:
     """One end-to-end tuning run: method + engine -> suggested config."""
     from .core.methods import run_method
-    from .core.params import platform_space
+    from .core.params import workload_space
     from .machines.simulator import PlatformSimulator
 
     method = (args.method or "SAML").upper()
     try:
-        space = platform_space(platform)
-        sim = PlatformSimulator(platform, seed=args.seed)
+        space = workload_space(workload, platform)
+        sim = PlatformSimulator(platform, workload.profile(), seed=args.seed)
         ml = None
         if method in ("EML", "SAML"):
             platform.require_device(f"{method} needs trained predictors — use EM or SAM")
-            ml = platform_context(platform.name.lower(), args.seed).ml()
+            ml = platform_context(
+                platform.name.lower(), args.seed, workload.name.lower()
+            ).ml()
+        size_mb = args.size_mb if args.size_mb is not None else workload.sequence_mb
         result = run_method(
             method,
             space,
             sim,
-            args.size_mb,
+            size_mb,
             ml=ml,
             iterations=args.iterations,
             seed=args.seed,
@@ -198,7 +241,10 @@ def _run_tune(platform, args, engine) -> int:
     except ValueError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
-    print(f"{method} suggestion for a {args.size_mb:g} MB workload on {platform.name}:")
+    print(
+        f"{method} suggestion for a {size_mb:g} MB {workload.name} "
+        f"workload on {platform.name}:"
+    )
     print(f"  configuration      : {result.config.describe()}")
     print(f"  measured time      : {result.measured_time:.3f} s")
     print(f"  search evaluations : {result.search_evaluations}")
@@ -213,24 +259,74 @@ def _run_tune(platform, args, engine) -> int:
     return 0
 
 
-def _run_campaign(args) -> int:
+def _split_csv(value: str | None) -> tuple[str, ...] | None:
+    """Parse a comma-separated CLI list into a tuple (None stays None)."""
+    if not value:
+        return None
+    return tuple(v.strip() for v in value.split(",") if v.strip())
+
+
+def _run_campaign(workload, args) -> int:
     """One method across the registered fleet -> comparison table."""
     from .core.campaign import tune_campaign
 
     method = (args.method or "SAM").upper()
-    platforms = None
-    if args.platforms:
-        platforms = tuple(p.strip() for p in args.platforms.split(",") if p.strip())
-    elif args.platform is not None:
+    platforms = _split_csv(args.platforms)
+    if platforms is None and args.platform is not None:
         # `campaign --platform X` means a single-platform campaign, not
         # "silently tune the whole fleet anyway".
         platforms = (args.platform,)
+    size_mb = args.size_mb if args.size_mb is not None else workload.sequence_mb
     try:
         result = tune_campaign(
             platforms,
             method=method,
-            size_mb=args.size_mb,
+            size_mb=size_mb,
             iterations=args.iterations,
+            seed=args.seed,
+            workload=workload,
+            engine=args.engine if args.engine is not None else "cached+batched",
+            batch_size=args.batch_size,
+            processes=args.processes,
+        )
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    print(render_table(
+        result.table_headers(),
+        result.table_rows(),
+        title=(
+            f"Campaign: {method} on a {size_mb:g} MB {workload.name} workload "
+            f"across {len(result)} platforms"
+        ),
+    ))
+    best = result.best_platform()
+    print()
+    print(f"fastest platform   : {best.platform} ({best.measured_time:.3f} s)")
+    print(f"closest to optimum : "
+          f"{min(result, key=lambda r: r.quality_vs_em).platform}")
+    return 0
+
+
+def _run_matrix(args) -> int:
+    """One method over workload x platform scenarios -> per-cell table."""
+    from .core.campaign import tune_matrix
+
+    method = (args.method or "SAM").upper()
+    workloads = _split_csv(args.workloads)
+    platforms = _split_csv(args.platforms)
+    iterations = args.iterations
+    if args.budget_scale == "small":
+        workloads = workloads or SMALL_MATRIX_WORKLOADS
+        platforms = platforms or SMALL_MATRIX_PLATFORMS
+        iterations = min(iterations, SMALL_MATRIX_MAX_ITERATIONS)
+    try:
+        result = tune_matrix(
+            workloads,
+            platforms,
+            method=method,
+            size_mb=args.size_mb,
+            iterations=iterations,
             seed=args.seed,
             engine=args.engine if args.engine is not None else "cached+batched",
             batch_size=args.batch_size,
@@ -243,15 +339,20 @@ def _run_campaign(args) -> int:
         result.table_headers(),
         result.table_rows(),
         title=(
-            f"Campaign: {method} on a {args.size_mb:g} MB workload "
-            f"across {len(result)} platforms"
+            f"Scenario matrix: {method} across {len(result.workloads)} workloads "
+            f"x {len(result.platforms)} platforms"
         ),
     ))
-    best = result.best_platform()
+    best = result.best_cell()
     print()
-    print(f"fastest platform   : {best.platform} ({best.measured_time:.3f} s)")
-    print(f"closest to optimum : "
-          f"{min(result, key=lambda r: r.quality_vs_em).platform}")
+    print(
+        f"best cell          : {best.workload} on {best.platform} "
+        f"({best.speedup_vs_host_only:.2f}x vs host-only)"
+    )
+    for workload in result.workloads:
+        fastest = result.best_platform_for(workload)
+        print(f"fastest for {workload:<16}: {fastest.platform} "
+              f"({fastest.report.measured_time:.3f} s)")
     return 0
 
 
@@ -282,12 +383,13 @@ def main(argv: list[str] | None = None) -> int:
         "default: SAML for tune, SAM for campaign)",
     )
     parser.add_argument(
-        "--size-mb", type=float, default=3170.0,
-        help="workload size for `tune`/`campaign` [MB]",
+        "--size-mb", type=float, default=None,
+        help="workload size for `tune`/`campaign`/`matrix` [MB] "
+        "(default: the selected workload's input scale, 3170 for dna-paper)",
     )
     parser.add_argument(
         "--iterations", type=int, default=1000,
-        help="annealing iterations for `tune`/`campaign` with SAM/SAML",
+        help="annealing iterations for `tune`/`campaign`/`matrix` with SAM/SAML",
     )
     parser.add_argument(
         "--platform", default=None,
@@ -296,11 +398,26 @@ def main(argv: list[str] | None = None) -> int:
     )
     parser.add_argument(
         "--platforms", default=None,
-        help="comma-separated platform subset for `campaign` (default: all registered)",
+        help="comma-separated platform subset for `campaign`/`matrix` "
+        "(default: all registered)",
+    )
+    parser.add_argument(
+        "--workload", default=None,
+        help="registered workload for `tune`, `campaign`, and the experiment "
+        "artifacts (default: dna-paper; see the `workloads` artifact)",
+    )
+    parser.add_argument(
+        "--workloads", default=None,
+        help="comma-separated workload subset for `matrix` (default: all registered)",
+    )
+    parser.add_argument(
+        "--budget-scale", choices=("small", "full"), default="full",
+        help="`matrix` budget: `small` caps iterations and defaults to a "
+        "3x3 workload/platform subset (the CI smoke configuration)",
     )
     parser.add_argument(
         "--processes", type=int, default=None,
-        help="fan `campaign` platforms out over this many worker processes",
+        help="fan `campaign`/`matrix` cells out over this many worker processes",
     )
     args = parser.parse_args(argv)
 
@@ -319,6 +436,7 @@ def main(argv: list[str] | None = None) -> int:
 
     try:
         platform = get_platform(args.platform or "emil")
+        workload = get_workload(args.workload or DEFAULT_WORKLOAD_KEY)
     except ValueError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
@@ -328,13 +446,23 @@ def main(argv: list[str] | None = None) -> int:
         print(f"[done in {time.time() - t0:.1f}s]", file=sys.stderr)
         return 0
 
+    if want == "workloads":
+        _print_workloads()
+        print(f"[done in {time.time() - t0:.1f}s]", file=sys.stderr)
+        return 0
+
     if want == "campaign":
-        code = _run_campaign(args)
+        code = _run_campaign(workload, args)
+        print(f"[done in {time.time() - t0:.1f}s]", file=sys.stderr)
+        return code
+
+    if want == "matrix":
+        code = _run_matrix(args)
         print(f"[done in {time.time() - t0:.1f}s]", file=sys.stderr)
         return code
 
     if want == "tune":
-        code = _run_tune(platform, args, engine)
+        code = _run_tune(platform, workload, args, engine)
         print(f"[done in {time.time() - t0:.1f}s]", file=sys.stderr)
         return code
 
@@ -342,7 +470,11 @@ def main(argv: list[str] | None = None) -> int:
     ctx = None
     if needs_ctx:
         try:
-            ctx = platform_context(args.platform or "emil", args.seed)
+            ctx = platform_context(
+                args.platform or "emil",
+                args.seed,
+                workload.name.lower(),
+            )
         except ValueError as exc:
             print(f"error: {exc}", file=sys.stderr)
             return 2

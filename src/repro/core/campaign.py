@@ -1,4 +1,4 @@
-"""Cross-platform tuning campaigns.
+"""Cross-platform tuning campaigns and workload x platform matrices.
 
 A *campaign* runs one optimization method (Table II) against every
 platform of a fleet and reports, per platform: the suggested system
@@ -8,6 +8,14 @@ and the experiment budget the search consumed versus what a full
 enumeration would cost.  It answers the question the paper's single-node
 evaluation leaves open — does the tuning method keep working when core
 counts, accelerator mixes, and interconnects change?
+
+A *scenario matrix* (:func:`tune_matrix`) crosses the workload registry
+(:mod:`repro.dna.workloads`) with the platform registry: every
+``(workload, platform)`` cell gets its own measurement substrate,
+scenario-fitted configuration space, and batched engine, and reports
+the best configuration, its distance from the enumeration optimum, and
+the speedup over the host-only baseline — the scenario-diversity sweep
+the paper's single hard-wired workload cannot provide.
 
 Each platform gets its own measurement substrate, its own configuration
 space (fitted via :func:`~repro.core.params.platform_space`), and its
@@ -28,13 +36,25 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+from ..dna.workloads import (
+    WorkloadSpec,
+    get_workload,
+    resolve_workload,
+    workload_names,
+)
 from ..machines.perfmodel import DNA_SCAN, WorkloadProfile
 from ..machines.registry import get_platform, platform_names
 from ..machines.simulator import PlatformSimulator
 from ..machines.spec import PlatformSpec
 from .engine import EvaluationEngine, make_engine
 from .methods import run_em, run_method
-from .params import SystemConfiguration, device_only_config, host_only_config, platform_space
+from .params import (
+    SystemConfiguration,
+    device_only_config,
+    host_only_config,
+    platform_space,
+    workload_space,
+)
 
 #: Methods that need per-platform trained predictors.
 ML_METHODS = ("EML", "SAML")
@@ -156,15 +176,19 @@ def tune_platform(
     size_mb: float = 3170.0,
     iterations: int = 1000,
     seed: int = 0,
-    workload: WorkloadProfile = DNA_SCAN,
+    workload: WorkloadProfile | WorkloadSpec | str = DNA_SCAN,
     engine: str | EvaluationEngine | None = "cached+batched",
     batch_size: int = 64,
 ) -> PlatformTuneReport:
     """Tune one platform and compare against its enumeration optimum.
 
-    The EM reference runs on its own substrate via the separable fast
-    path (cheap), so the reported ``experiments`` count only what the
-    method itself consumed.
+    ``workload`` accepts a raw :class:`~repro.machines.perfmodel.WorkloadProfile`
+    (historical behavior, platform-fitted space) or a registered
+    workload name / :class:`~repro.dna.workloads.WorkloadSpec`, in
+    which case the configuration space is scenario-fitted via
+    :func:`~repro.core.params.workload_space`.  The EM reference runs
+    on its own substrate via the separable fast path (cheap), so the
+    reported ``experiments`` count only what the method itself consumed.
     """
     spec = get_platform(platform)
     method = method.upper()
@@ -172,7 +196,11 @@ def tune_platform(
         spec.require_device(
             f"method {method} needs per-platform trained predictors — use EM or SAM"
         )
-    space = platform_space(spec)
+    workload_spec, workload = resolve_workload(workload)
+    if workload_spec is None:
+        space = platform_space(spec)
+    else:
+        space = workload_space(workload_spec, spec)
     if isinstance(engine, str):
         engine = make_engine(engine, batch_size=batch_size)
 
@@ -183,7 +211,14 @@ def tune_platform(
     if method in ML_METHODS:
         from .tuner import WorkDistributionTuner
 
-        tuner = WorkDistributionTuner(spec, workload, space, seed=seed)
+        # Pass the spec when the workload is registered so the tuner's
+        # training grid rescales to the workload's input scale.
+        tuner = WorkDistributionTuner(
+            spec,
+            workload_spec if workload_spec is not None else workload,
+            space,
+            seed=seed,
+        )
         ml = tuner.models.evaluator()
         sim = tuner.sim
     result = run_method(
@@ -241,7 +276,7 @@ def tune_campaign(
     size_mb: float = 3170.0,
     iterations: int = 1000,
     seed: int = 0,
-    workload: WorkloadProfile = DNA_SCAN,
+    workload: WorkloadProfile | WorkloadSpec | str = DNA_SCAN,
     engine: str | None = "cached+batched",
     batch_size: int = 64,
     processes: int | None = None,
@@ -250,10 +285,13 @@ def tune_campaign(
 
     ``platforms`` defaults to every registered platform (minus the
     accelerator-less ones when ``method`` is ML-backed, which cannot
-    train a device predictor).  ``engine`` is an engine *name*; each
-    platform gets a fresh instance so its batch/cache statistics are
-    per-platform.  ``processes > 1`` scores platforms concurrently over
-    a process pool with identical results.
+    train a device predictor).  ``workload`` accepts a profile, a
+    registered workload name, or a :class:`~repro.dna.workloads.WorkloadSpec`
+    (see :func:`tune_platform`); use :func:`tune_matrix` to cross the
+    whole workload registry with the fleet.  ``engine`` is an engine
+    *name*; each platform gets a fresh instance so its batch/cache
+    statistics are per-platform.  ``processes > 1`` scores platforms
+    concurrently over a process pool with identical results.
     """
     method = method.upper()
     if platforms is None:
@@ -286,3 +324,220 @@ def tune_campaign(
     else:
         reports = [_tune_platform_worker(job) for job in jobs]
     return CampaignResult(method=method, size_mb=size_mb, reports=tuple(reports))
+
+
+# --- workload x platform scenario matrices ----------------------------------
+
+
+@dataclass(frozen=True)
+class ScenarioReport:
+    """One ``(workload, platform)`` cell of a scenario matrix."""
+
+    workload: str
+    size_mb: float  # the cell's tuned input size (the workload's scale)
+    report: PlatformTuneReport
+
+    @property
+    def platform(self) -> str:
+        """The cell's platform display name."""
+        return self.report.platform
+
+    @property
+    def config(self) -> SystemConfiguration:
+        """The cell's best (suggested) configuration."""
+        return self.report.config
+
+    @property
+    def optimum_distance(self) -> float:
+        """Suggested time over the enumeration optimum (1.0 = optimal)."""
+        return self.report.quality_vs_em
+
+    @property
+    def speedup_vs_host_only(self) -> float:
+        """Measured speedup over the cell's host-only baseline."""
+        return self.report.speedup_vs_host_only
+
+
+@dataclass(frozen=True)
+class MatrixResult:
+    """All cells of a workload x platform matrix plus table views."""
+
+    method: str
+    workloads: tuple[str, ...]
+    platforms: tuple[str, ...]
+    reports: tuple[ScenarioReport, ...]
+
+    def __iter__(self):
+        return iter(self.reports)
+
+    def __len__(self) -> int:
+        return len(self.reports)
+
+    def cell(self, workload: str, platform: str) -> ScenarioReport:
+        """The cell for one (workload, platform) pair (case-insensitive)."""
+        w, p = workload.strip().lower(), platform.strip().lower()
+        for r in self.reports:
+            if r.workload.lower() == w and r.platform.lower() == p:
+                return r
+        raise KeyError(f"no matrix cell for workload {workload!r} on {platform!r}")
+
+    def row(self, workload: str) -> tuple[ScenarioReport, ...]:
+        """All cells of one workload, in platform order."""
+        w = workload.strip().lower()
+        cells = tuple(r for r in self.reports if r.workload.lower() == w)
+        if not cells:
+            known = ", ".join(self.workloads)
+            raise KeyError(f"no matrix row for workload {workload!r}; have: {known}")
+        return cells
+
+    def column(self, platform: str) -> tuple[ScenarioReport, ...]:
+        """All cells of one platform, in workload order."""
+        p = platform.strip().lower()
+        cells = tuple(r for r in self.reports if r.platform.lower() == p)
+        if not cells:
+            known = ", ".join(self.platforms)
+            raise KeyError(f"no matrix column for platform {platform!r}; have: {known}")
+        return cells
+
+    def best_platform_for(self, workload: str) -> ScenarioReport:
+        """The platform with the lowest tuned time for one workload."""
+        return min(self.row(workload), key=lambda r: r.report.measured_time)
+
+    def best_cell(self) -> ScenarioReport:
+        """The cell with the highest speedup over its host-only baseline.
+
+        Measured times are not comparable across workloads (each cell
+        tunes its own input size), so the cross-scenario headline is the
+        relative win over the per-cell baseline.
+        """
+        return max(self.reports, key=lambda r: r.speedup_vs_host_only)
+
+    def table_headers(self) -> list[str]:
+        """Column headers for :meth:`table_rows`."""
+        return [
+            "Workload",
+            "Platform",
+            "Best configuration",
+            "Size [MB]",
+            "Time [s]",
+            "vs EM",
+            "vs host",
+            "Experiments",
+        ]
+
+    def table_rows(self) -> list[tuple[object, ...]]:
+        """Per-cell comparison rows (printed by the CLI's ``matrix``)."""
+        rows: list[tuple[object, ...]] = []
+        for r in self.reports:
+            rows.append(
+                (
+                    r.workload,
+                    r.platform,
+                    r.config.describe(),
+                    round(r.size_mb, 1),
+                    round(r.report.measured_time, 3),
+                    f"{r.optimum_distance:.3f}x",
+                    f"{r.speedup_vs_host_only:.2f}x",
+                    r.report.experiments,
+                )
+            )
+        return rows
+
+
+def tune_scenario(
+    workload: WorkloadSpec | str,
+    platform: PlatformSpec | str,
+    *,
+    method: str = "SAM",
+    size_mb: float | None = None,
+    iterations: int = 1000,
+    seed: int = 0,
+    engine: str | EvaluationEngine | None = "cached+batched",
+    batch_size: int = 64,
+) -> ScenarioReport:
+    """Tune one (workload, platform) cell.
+
+    ``size_mb`` defaults to the workload's own input scale
+    (``WorkloadSpec.sequence_mb``) — a short-read archive is tuned at
+    300 MB, a wheat genome at 24 GB — so the matrix compares scenarios,
+    not one arbitrary size.
+    """
+    spec = get_workload(workload)
+    size = float(size_mb) if size_mb is not None else spec.sequence_mb
+    report = tune_platform(
+        platform,
+        method=method,
+        size_mb=size,
+        iterations=iterations,
+        seed=seed,
+        workload=spec,
+        engine=engine,
+        batch_size=batch_size,
+    )
+    return ScenarioReport(workload=spec.name, size_mb=size, report=report)
+
+
+def _tune_scenario_worker(args: tuple) -> ScenarioReport:
+    """Picklable fan-out target: scenarios resolve by name in the worker."""
+    workload, platform, kwargs = args
+    return tune_scenario(workload, platform, **kwargs)
+
+
+def tune_matrix(
+    workloads: tuple[str, ...] | list[str] | None = None,
+    platforms: tuple[str, ...] | list[str] | None = None,
+    *,
+    method: str = "SAM",
+    size_mb: float | None = None,
+    iterations: int = 1000,
+    seed: int = 0,
+    engine: str | None = "cached+batched",
+    batch_size: int = 64,
+    processes: int | None = None,
+) -> MatrixResult:
+    """Run one tuning method over a workload x platform scenario matrix.
+
+    ``workloads`` / ``platforms`` default to the full registries (minus
+    accelerator-less platforms for ML-backed methods).  Every cell gets
+    a fresh substrate, a scenario-fitted space, and its own engine
+    instance (``engine`` is an engine *name*), so per-cell statistics
+    and budgets stay clean; ``processes > 1`` fans whole cells out over
+    a process pool with identical results.  ``size_mb`` overrides the
+    per-workload input scale for every cell (mostly useful in tests).
+    """
+    method = method.upper()
+    wnames = list(workloads) if workloads is not None else list(workload_names())
+    if platforms is None:
+        pnames = list(platform_names())
+        if method in ML_METHODS:
+            pnames = [n for n in pnames if get_platform(n).has_device]
+    else:
+        pnames = list(platforms)
+    if not wnames or not pnames:
+        raise ValueError("matrix needs at least one workload and one platform")
+    kwargs = dict(
+        method=method,
+        size_mb=size_mb,
+        iterations=iterations,
+        seed=seed,
+        engine=engine,
+        batch_size=batch_size,
+    )
+    jobs = [(w, p, kwargs) for w in wnames for p in pnames]
+    if processes is not None and processes > 1 and len(jobs) > 1:
+        import multiprocessing
+
+        try:
+            context = multiprocessing.get_context("fork")
+        except ValueError:  # pragma: no cover - non-POSIX platforms
+            context = multiprocessing.get_context("spawn")
+        with context.Pool(min(processes, len(jobs))) as pool:
+            reports = pool.map(_tune_scenario_worker, jobs)
+    else:
+        reports = [_tune_scenario_worker(job) for job in jobs]
+    return MatrixResult(
+        method=method,
+        workloads=tuple(get_workload(w).name for w in wnames),
+        platforms=tuple(get_platform(p).name for p in pnames),
+        reports=tuple(reports),
+    )

@@ -317,3 +317,65 @@ def platform_space(
         fractions=space_fractions,
         max_fraction_steps=max_fraction_steps,
     )
+
+
+# --- workload-fitted spaces -------------------------------------------------
+
+#: Inputs at or below this size coarsen the workload-fraction grid: a
+#: 2.5 % sliver of a small input is smaller than what an offload launch
+#: pays for, so adjacent fractions become indistinguishable.
+COARSE_INPUT_MB = 600.0
+#: Inputs at or above this size refine the fraction grid: on a tens-of-GB
+#: input, 2.5 % steps leave whole seconds between adjacent splits.
+FINE_INPUT_MB = 8000.0
+
+#: Fraction grid steps for small / paper-scale / huge inputs.
+COARSE_FRACTION_STEP = 5.0
+FINE_FRACTION_STEP = 1.25
+
+
+def workload_fractions(workload) -> tuple[float, ...]:
+    """The workload-fraction grid fitted to a workload's input scale.
+
+    The paper's 2.5 %-step grid (41 values) is kept for paper-scale
+    inputs; small inputs coarsen to 5 % steps (21 values), huge inputs
+    refine to 1.25 % steps (81 values).  ``workload`` is a registry name
+    or a :class:`~repro.dna.workloads.WorkloadSpec`.
+    """
+    from ..dna.workloads import get_workload
+
+    spec = get_workload(workload)
+    if spec.sequence_mb <= COARSE_INPUT_MB:
+        step = COARSE_FRACTION_STEP
+    elif spec.sequence_mb >= FINE_INPUT_MB:
+        step = FINE_FRACTION_STEP
+    else:
+        return FRACTIONS
+    return tuple(float(x) for x in np.arange(0.0, 100.0 + step / 2, step))
+
+
+def workload_space(
+    workload,
+    platform: PlatformSpec | str | None = None,
+) -> ParameterSpace:
+    """Fit the Table I space to a (workload, platform) scenario.
+
+    Thread grids follow the platform (see :func:`platform_space`); the
+    workload-fraction grid follows the workload's input scale (see
+    :func:`workload_fractions`), with the annealer's long-range
+    fraction moves rescaled so one move spans the same share of the
+    axis on every grid.  For ``("dna-paper", Emil)`` the result is
+    exactly :data:`DEFAULT_SPACE` — the paper's scenario is preserved
+    bit-for-bit.  ``workload`` is a registry name or a
+    :class:`~repro.dna.workloads.WorkloadSpec`; ``platform`` defaults
+    to the paper's *Emil*.
+    """
+    from ..machines.registry import get_platform
+    from ..machines.spec import EMIL
+
+    platform = EMIL if platform is None else get_platform(platform)
+    fractions = workload_fractions(workload)
+    # One long-range annealing move spans up to ~10 % of the fraction
+    # axis regardless of grid resolution (4 steps on the paper's grid).
+    max_steps = max(1, round(DEFAULT_SPACE.max_fraction_steps * (len(fractions) - 1) / 40))
+    return platform_space(platform, fractions=fractions, max_fraction_steps=max_steps)

@@ -39,6 +39,24 @@ TRAINING_FRACTIONS: tuple[float, ...] = tuple(
 DEFAULT_TRAINING_SIZES_MB: tuple[float, ...] = (3170.0, 2770.0, 2430.0, 2380.0)
 
 
+def training_sizes_for(workload) -> tuple[float, ...]:
+    """The training-grid sizes fitted to a workload's input scale.
+
+    The paper trains on its four genome sizes; other workloads keep the
+    same four-point *shape* rescaled so the grid brackets the sizes the
+    scenario will actually tune (``WorkloadSpec.sequence_mb`` maps onto
+    the largest genome).  For ``dna-paper`` the ratio is exactly 1 and
+    the paper's sizes are returned verbatim.
+    """
+    from ..dna.workloads import get_workload
+
+    spec = get_workload(workload)
+    ratio = spec.sequence_mb / DEFAULT_TRAINING_SIZES_MB[0]
+    if ratio == 1.0:
+        return DEFAULT_TRAINING_SIZES_MB
+    return tuple(round(s * ratio, 3) for s in DEFAULT_TRAINING_SIZES_MB)
+
+
 @dataclass(frozen=True)
 class TrainingData:
     """Measured host/device experiment grids."""

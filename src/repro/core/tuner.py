@@ -92,13 +92,18 @@ class WorkDistributionTuner:
         :mod:`repro.machines.registry`).  Defaults to the paper's *Emil*
         node.
     workload:
-        Scan-rate/table-footprint profile; take it from
+        Scan-rate/table-footprint profile, a registered workload name
+        like ``"dna-paper"`` / ``"dense-motif"`` (see
+        :mod:`repro.dna.workloads`), or a
+        :class:`~repro.dna.workloads.WorkloadSpec`; take a profile from
         :meth:`repro.dna.DNASequenceAnalysis.workload_profile` to tune
         the actual application.
     space:
         Configuration space; by default it is fitted to the platform's
         thread capacities via :func:`~repro.core.params.platform_space`
-        (for Emil that is exactly the paper's Table I space).
+        (for Emil that is exactly the paper's Table I space) — and,
+        when the workload is given by name/spec, to the workload's
+        input scale via :func:`~repro.core.params.workload_space`.
     seed:
         Controls measurement noise and annealing randomness.
     """
@@ -106,14 +111,24 @@ class WorkDistributionTuner:
     def __init__(
         self,
         platform: PlatformSpec | str = EMIL,
-        workload: WorkloadProfile = DNA_SCAN,
+        workload: WorkloadProfile | str = DNA_SCAN,
         space: ParameterSpace | None = None,
         *,
         seed: int = 0,
     ) -> None:
+        from ..dna.workloads import resolve_workload
+
         self.platform = get_platform(platform)
+        self.workload_spec, workload = resolve_workload(workload)
         self.workload = workload
-        self.space = space if space is not None else platform_space(self.platform)
+        if space is not None:
+            self.space = space
+        elif self.workload_spec is not None:
+            from .params import workload_space
+
+            self.space = workload_space(self.workload_spec, self.platform)
+        else:
+            self.space = platform_space(self.platform)
         self.seed = seed
         self.sim = PlatformSimulator(self.platform, workload, seed=seed)
         self._models: TrainedModels | None = None
@@ -123,7 +138,7 @@ class WorkDistributionTuner:
     def train(
         self,
         *,
-        sizes_mb: tuple[float, ...] = DEFAULT_TRAINING_SIZES_MB,
+        sizes_mb: tuple[float, ...] | None = None,
         processes: int | None = None,
     ) -> TrainedModels:
         """Generate the training grid and fit the per-side predictors.
@@ -132,12 +147,23 @@ class WorkDistributionTuner:
         afterwards :meth:`tune` with SAML/EML costs no experiments.
         ``processes`` parallelizes the batched measurement campaign.
         The grids follow the tuner's configuration space, so non-Emil
-        platforms train on thread counts their hardware actually has.
+        platforms train on thread counts their hardware actually has;
+        ``sizes_mb`` defaults to the paper's four genome sizes, rescaled
+        to the workload's input scale when the tuner was built from a
+        named workload (see
+        :func:`~repro.core.training.training_sizes_for`).
         """
         self.platform.require_device(
             "ML-backed methods (EML/SAML) need a device-side training grid — "
             "use the measurement-based methods (EM/SAM) instead"
         )
+        if sizes_mb is None:
+            if self.workload_spec is not None:
+                from .training import training_sizes_for
+
+                sizes_mb = training_sizes_for(self.workload_spec)
+            else:
+                sizes_mb = DEFAULT_TRAINING_SIZES_MB
         data = generate_training_data(
             self.sim,
             sizes_mb=sizes_mb,

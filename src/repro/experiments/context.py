@@ -12,9 +12,21 @@ from dataclasses import dataclass
 from functools import lru_cache
 
 from ..core.evaluators import MLEvaluator
-from ..core.params import ParameterSpace, platform_space
-from ..core.training import TrainedModels, generate_training_data, train_models
+from ..core.params import ParameterSpace, platform_space, workload_space
+from ..core.training import (
+    DEFAULT_TRAINING_SIZES_MB,
+    TrainedModels,
+    generate_training_data,
+    train_models,
+    training_sizes_for,
+)
 from ..dna.sequence import GENOME_ORDER, GENOMES
+from ..dna.workloads import (
+    DEFAULT_WORKLOAD_KEY,
+    WorkloadSpec,
+    get_workload,
+    resolve_workload,
+)
 from ..machines.perfmodel import DNA_SCAN, WorkloadProfile
 from ..machines.simulator import PlatformSimulator
 from ..machines.spec import EMIL, PlatformSpec
@@ -42,7 +54,7 @@ class ExperimentContext:
 def build_context(
     *,
     platform: PlatformSpec = EMIL,
-    workload: WorkloadProfile = DNA_SCAN,
+    workload: WorkloadProfile | WorkloadSpec | str = DNA_SCAN,
     space: ParameterSpace | None = None,
     seed: int = 0,
 ) -> ExperimentContext:
@@ -51,15 +63,29 @@ def build_context(
     ``space`` defaults to the platform-fitted configuration space (the
     paper's Table I space for Emil); the training grids follow it, so a
     context can be built for any registered platform with a device.
+    ``workload`` additionally accepts a registered workload name or
+    :class:`~repro.dna.workloads.WorkloadSpec`, in which case the space
+    is scenario-fitted and the training sizes rescale to the workload's
+    input scale.
     """
     platform.require_device(
         "experiment contexts need both training grids — use the campaign/tune paths"
     )
+    workload_spec, workload = resolve_workload(workload)
     if space is None:
-        space = platform_space(platform)
+        if workload_spec is not None:
+            space = workload_space(workload_spec, platform)
+        else:
+            space = platform_space(platform)
     sim = PlatformSimulator(platform, workload, seed=seed)
+    sizes_mb = (
+        training_sizes_for(workload_spec)
+        if workload_spec is not None
+        else DEFAULT_TRAINING_SIZES_MB
+    )
     data = generate_training_data(
         sim,
+        sizes_mb=sizes_mb,
         host_threads=space.host_threads,
         host_affinities=space.host_affinities,
         device_threads=space.device_threads,
@@ -75,16 +101,23 @@ def default_context(seed: int = 0) -> ExperimentContext:
     return build_context(seed=seed)
 
 
-@lru_cache(maxsize=4)
-def platform_context(platform: str = "emil", seed: int = 0) -> ExperimentContext:
-    """Memoized context for a registered platform (by name).
+@lru_cache(maxsize=8)
+def platform_context(
+    platform: str = "emil",
+    seed: int = 0,
+    workload: str = DEFAULT_WORKLOAD_KEY,
+) -> ExperimentContext:
+    """Memoized context for a registered (platform, workload) scenario.
 
-    For Emil this is exactly :func:`default_context` — same cache, same
-    models — so platform-aware callers keep the historical results.
+    For Emil on the paper's workload this is exactly
+    :func:`default_context` — same cache, same models — so
+    platform-aware callers keep the historical results bit-for-bit
+    (``dna-paper`` derives the identical performance profile).
     """
     from ..machines.registry import get_platform
 
     spec = get_platform(platform)
-    if spec is EMIL:
+    workload_spec = get_workload(workload)
+    if spec is EMIL and workload_spec.name == DEFAULT_WORKLOAD_KEY:
         return default_context(seed)
-    return build_context(platform=spec, seed=seed)
+    return build_context(platform=spec, workload=workload_spec, seed=seed)

@@ -26,29 +26,46 @@ def host_scan_roofline_mbs(
     stats: PlacementStats,
     *,
     efficiency: float | None = None,
+    workload_scale: float = 1.0,
 ) -> float:
     """Max aggregate host scan rate (MB/s) for a given placement.
 
     ``efficiency`` overrides the Emil-calibrated default (platform specs
-    carry it in ``host_perf.scan_efficiency``).  Touching a single socket
+    carry it in ``host_perf.scan_efficiency``); ``workload_scale`` is
+    the workload's roofline multiplier (match-dense scans stream result
+    records back through the memory system — see
+    ``WorkloadProfile.scan_efficiency_scale``; the paper's workload is
+    1.0, keeping the historical values exact).  Touching a single socket
     halves the available controllers; the NUMA interleave of the input
     buffer still leaks some remote traffic, hence the 0.55 (not 0.5)
     single-socket factor.
     """
     if efficiency is None:
         efficiency = HOST_SCAN_EFFICIENCY
-    full = platform.host_mem_bandwidth_gbs * 1024.0 * efficiency
+    if workload_scale <= 0:
+        raise ValueError(f"workload_scale must be positive, got {workload_scale}")
+    full = platform.host_mem_bandwidth_gbs * 1024.0 * efficiency * workload_scale
     if stats.sockets_used >= platform.sockets:
         return full
     fraction = 0.55 * stats.sockets_used / max(1, platform.sockets - 1)
     return full * min(1.0, fraction + 0.45 * (stats.sockets_used - 1))
 
 
-def device_scan_roofline_mbs(device: PhiSpec, *, efficiency: float | None = None) -> float:
-    """Max aggregate device scan rate (MB/s); the ring makes it placement-free."""
+def device_scan_roofline_mbs(
+    device: PhiSpec,
+    *,
+    efficiency: float | None = None,
+    workload_scale: float = 1.0,
+) -> float:
+    """Max aggregate device scan rate (MB/s); the ring makes it placement-free.
+
+    ``workload_scale`` plays the same role as on the host roofline.
+    """
     if efficiency is None:
         efficiency = DEVICE_SCAN_EFFICIENCY
-    return device.mem_bandwidth_gbs * 1024.0 * efficiency
+    if workload_scale <= 0:
+        raise ValueError(f"workload_scale must be positive, got {workload_scale}")
+    return device.mem_bandwidth_gbs * 1024.0 * efficiency * workload_scale
 
 
 def combine_rates(linear_rate_mbs: float, roofline_mbs: float) -> float:

@@ -82,7 +82,14 @@ class WorkloadProfile:
     ``table_kb`` is the DFA transition-table footprint (couples the DNA
     substrate's automaton size to scan throughput); ``host_rate_mbs`` /
     ``device_rate_mbs`` are single-thread scan rates for this workload;
-    ``result_mb`` sizes the device->host result transfer.
+    ``result_mb`` sizes the device->host result transfer;
+    ``scan_efficiency_scale`` multiplies the platform's scan-roofline
+    efficiency (match-dense workloads stream result records through the
+    memory system and erode the roofline; 1.0 = the paper's workload).
+
+    Profiles are usually derived from a named
+    :class:`~repro.dna.workloads.WorkloadSpec` rather than written by
+    hand; this class stays the low-level calibration handle.
     """
 
     name: str = "dna-scan"
@@ -91,12 +98,17 @@ class WorkloadProfile:
     table_kb: float = 1.0
     result_mb: float = 0.001
     transfer_overlap: float = 0.6
+    scan_efficiency_scale: float = 1.0
 
     def __post_init__(self) -> None:
         if self.host_rate_mbs <= 0 or self.device_rate_mbs <= 0:
             raise ValueError("scan rates must be positive")
         if self.table_kb < 0:
             raise ValueError("table_kb must be >= 0")
+        if self.scan_efficiency_scale <= 0:
+            raise ValueError(
+                f"scan_efficiency_scale must be positive, got {self.scan_efficiency_scale}"
+            )
 
 
 #: Default workload: the paper's DNA sequence analysis (small motif DFA).
@@ -149,7 +161,10 @@ class HostPerformanceModel:
         )
         linear *= self._locality * self._affinity_rate.get(affinity, 1.0)
         roofline = host_scan_roofline_mbs(
-            self.platform, stats, efficiency=self.perf.scan_efficiency
+            self.platform,
+            stats,
+            efficiency=self.perf.scan_efficiency,
+            workload_scale=self.workload.scan_efficiency_scale,
         )
         return combine_rates(linear, roofline)
 
@@ -198,7 +213,9 @@ class DevicePerformanceModel:
         )
         linear *= self._locality * self._affinity_rate.get(affinity, 1.0)
         roofline = device_scan_roofline_mbs(
-            self.platform.device, efficiency=self.perf.scan_efficiency
+            self.platform.device,
+            efficiency=self.perf.scan_efficiency,
+            workload_scale=self.workload.scan_efficiency_scale,
         )
         return combine_rates(linear, roofline)
 

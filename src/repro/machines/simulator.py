@@ -49,23 +49,47 @@ class Measurement:
     seconds: float
 
 
+def _resolve_workload(workload) -> WorkloadProfile:
+    """Accept a profile, a registered workload name, or a WorkloadSpec.
+
+    The import is deferred: :mod:`repro.dna.workloads` builds on this
+    package, so the registry loads lazily only when name resolution is
+    actually requested.
+    """
+    if isinstance(workload, WorkloadProfile):
+        return workload
+    from ..dna.workloads import workload_profile
+
+    return workload_profile(workload)
+
+
 class PlatformSimulator:
-    """Measurement substrate: configuration in, (noisy) seconds out."""
+    """Measurement substrate: configuration in, (noisy) seconds out.
+
+    ``platform`` and ``workload`` accept registry names (resolved via
+    :mod:`repro.machines.registry` / :mod:`repro.dna.workloads`) as well
+    as explicit spec/profile objects, so a scenario is fully nameable:
+    ``PlatformSimulator("fathost", "dense-motif")``.
+    """
 
     def __init__(
         self,
-        platform: PlatformSpec = EMIL,
-        workload: WorkloadProfile = DNA_SCAN,
+        platform: PlatformSpec | str = EMIL,
+        workload: WorkloadProfile | str = DNA_SCAN,
         *,
         noise: bool = True,
         seed: int = 0,
     ) -> None:
+        if isinstance(platform, str):
+            from .registry import get_platform
+
+            platform = get_platform(platform)
         self.platform = platform
-        self.workload = workload
+        self.workload = _resolve_workload(workload)
         self.noise = noise
         self.seed = seed
-        self.host_model = HostPerformanceModel(platform, workload)
-        self.device_model = DevicePerformanceModel(platform, workload)
+        self.host_model = HostPerformanceModel(self.platform, self.workload)
+        self.device_model = DevicePerformanceModel(self.platform, self.workload)
         self._experiments = 0
         self._log: list[Measurement] = []
 

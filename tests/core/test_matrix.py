@@ -1,0 +1,136 @@
+"""Workload x platform scenario matrices (core/campaign.py)."""
+
+import pytest
+
+from repro.core import tune_matrix, tune_scenario
+from repro.core.campaign import MatrixResult
+from repro.dna.workloads import SHORT_READ, get_workload
+
+WORKLOADS = ("dna-paper", "short-read", "dense-motif")
+PLATFORMS = ("emil", "fathost", "slowlink")
+ITERS = 100
+
+
+@pytest.fixture(scope="module")
+def sam_matrix() -> MatrixResult:
+    """One small SAM matrix over a 3x3 scenario subset."""
+    return tune_matrix(WORKLOADS, PLATFORMS, method="SAM", iterations=ITERS, seed=0)
+
+
+class TestTuneScenario:
+    def test_cell_defaults_to_the_workload_scale(self):
+        cell = tune_scenario("short-read", "emil", method="SAM", iterations=ITERS)
+        assert cell.workload == "short-read"
+        assert cell.platform == "Emil"
+        assert cell.size_mb == SHORT_READ.sequence_mb
+
+    def test_explicit_size_overrides_the_workload_scale(self):
+        cell = tune_scenario(
+            "short-read", "emil", method="SAM", size_mb=512.0, iterations=ITERS
+        )
+        assert cell.size_mb == 512.0
+
+    def test_cell_space_is_scenario_fitted(self):
+        # short-read coarsens the fraction grid: 6*3 * 9*3 * 21 fractions.
+        cell = tune_scenario("short-read", "emil", method="SAM", iterations=ITERS)
+        assert cell.report.space_size == 6 * 3 * 9 * 3 * 21
+
+    def test_optimum_distance_is_at_least_one(self):
+        cell = tune_scenario("dense-motif", "slowlink", method="SAM", iterations=ITERS)
+        assert cell.optimum_distance >= 1.0
+
+
+class TestTuneMatrix:
+    def test_shape_is_workloads_times_platforms(self, sam_matrix):
+        assert len(sam_matrix) == len(WORKLOADS) * len(PLATFORMS)
+        assert sam_matrix.workloads == tuple(get_workload(w).name for w in WORKLOADS)
+        assert sam_matrix.platforms == ("Emil", "FatHost", "SlowLink")
+
+    def test_rows_align_with_headers(self, sam_matrix):
+        headers = sam_matrix.table_headers()
+        rows = sam_matrix.table_rows()
+        assert len(rows) == len(sam_matrix)
+        for row in rows:
+            assert len(row) == len(headers)
+
+    def test_cell_lookup(self, sam_matrix):
+        cell = sam_matrix.cell("short-read", "fathost")
+        assert cell.workload == "short-read" and cell.platform == "FatHost"
+        with pytest.raises(KeyError):
+            sam_matrix.cell("short-read", "cray-1")
+
+    def test_row_lookup_covers_every_platform(self, sam_matrix):
+        row = sam_matrix.row("dna-paper")
+        assert [r.platform for r in row] == ["Emil", "FatHost", "SlowLink"]
+        with pytest.raises(KeyError):
+            sam_matrix.row("weather-sim")
+
+    def test_best_platform_for_is_the_fastest_cell(self, sam_matrix):
+        best = sam_matrix.best_platform_for("dense-motif")
+        times = [r.report.measured_time for r in sam_matrix.row("dense-motif")]
+        assert best.report.measured_time == min(times)
+
+    def test_best_cell_maximizes_host_only_speedup(self, sam_matrix):
+        best = sam_matrix.best_cell()
+        assert best.speedup_vs_host_only == max(
+            r.speedup_vs_host_only for r in sam_matrix
+        )
+
+    def test_cells_match_standalone_scenarios(self, sam_matrix):
+        solo = tune_scenario("dna-paper", "emil", method="SAM", iterations=ITERS, seed=0)
+        cell = sam_matrix.cell("dna-paper", "emil")
+        assert cell.config == solo.config
+        assert cell.report.measured_time == solo.report.measured_time
+
+    def test_workload_changes_the_suggested_landscape(self, sam_matrix):
+        # Scenario diversity must be visible in the reports: the same
+        # platform tunes to different spaces across workloads.
+        column = sam_matrix.column("Emil")
+        assert [r.workload for r in column] == list(sam_matrix.workloads)
+        sizes = {r.report.space_size for r in column}
+        assert len(sizes) >= 2
+
+    def test_process_fanout_matches_serial_results(self, sam_matrix):
+        fanned = tune_matrix(
+            WORKLOADS, PLATFORMS, method="SAM", iterations=ITERS, seed=0, processes=2
+        )
+        assert [r.config for r in fanned] == [r.config for r in sam_matrix]
+        assert [r.report.measured_time for r in fanned] == [
+            r.report.measured_time for r in sam_matrix
+        ]
+
+    def test_empty_matrix_rejected(self):
+        with pytest.raises(ValueError, match="at least one workload"):
+            tune_matrix((), PLATFORMS)
+
+    def test_ml_matrix_skips_deviceless_platforms(self):
+        res = tune_matrix(("dna-paper",), None, method="SAML", iterations=40,
+                          size_mb=500.0)
+        assert "ManyCore" not in res.platforms
+        assert "Emil" in res.platforms
+
+    def test_em_cells_report_full_budget(self):
+        res = tune_matrix(("short-read",), ("manycore",), method="EM")
+        cell = res.cell("short-read", "manycore")
+        assert cell.report.experiments == cell.report.space_size
+        assert cell.optimum_distance == pytest.approx(1.0)
+
+    def test_saml_cells_train_at_the_workload_scale(self, monkeypatch):
+        # The ML path must hand the registered spec to the tuner so its
+        # training grid rescales (short-read: sizes cap at 300 MB, not
+        # the paper's 3170), keeping predictions inside the trained range.
+        from repro.core import tuner as tuner_mod
+
+        instances = []
+        real = tuner_mod.WorkDistributionTuner
+
+        class SpyTuner(real):
+            def __init__(self, *args, **kwargs):
+                super().__init__(*args, **kwargs)
+                instances.append(self)
+
+        monkeypatch.setattr(tuner_mod, "WorkDistributionTuner", SpyTuner)
+        tune_scenario("short-read", "emil", method="SAML", iterations=30)
+        (tuner,) = instances
+        assert tuner.workload_spec is SHORT_READ
+        assert tuner.models.data.host.X[:, -1].max() <= SHORT_READ.sequence_mb

@@ -88,7 +88,7 @@ class TestFasta:
         path = tmp_path / "seq.fa"
         write_fasta(path, generate_sequence(200, seed=1), width=70)
         lines = path.read_text().splitlines()
-        assert all(len(l) <= 70 for l in lines[1:])
+        assert all(len(line) <= 70 for line in lines[1:])
 
     def test_read_string(self):
         header, codes = read_fasta_string(">hdr\nACGT\nACGT\n")

@@ -1,0 +1,197 @@
+"""Workload registry and the derived performance profiles."""
+
+import pytest
+
+from repro.core.params import (
+    DEFAULT_SPACE,
+    FRACTIONS,
+    workload_fractions,
+    workload_space,
+)
+from repro.dna.workloads import (
+    DENSE_MOTIF,
+    DNA_PAPER,
+    DNA_REFERENCE_MATCH_DENSITY,
+    LONG_GENOME,
+    PROTEIN_ALPHABET,
+    SHORT_READ,
+    TINY_ALPHABET,
+    WorkloadSpec,
+    all_workloads,
+    expected_match_density,
+    get_workload,
+    register_workload,
+    workload_names,
+    workload_profile,
+)
+from repro.machines import EMIL, get_platform
+from repro.machines.perfmodel import DNA_SCAN
+
+
+class TestRegistry:
+    def test_fleet_has_at_least_six_workloads(self):
+        assert len(workload_names()) >= 6
+
+    def test_dna_paper_is_registered_and_default(self):
+        assert get_workload("dna-paper") is DNA_PAPER
+        assert workload_names()[0] == "dna-paper"
+
+    def test_lookup_is_case_insensitive(self):
+        assert get_workload("DNA-Paper") is DNA_PAPER
+        assert get_workload("SHORT-READ") is SHORT_READ
+
+    def test_spec_passthrough(self):
+        assert get_workload(DENSE_MOTIF) is DENSE_MOTIF
+
+    def test_unknown_workload_lists_the_registry(self):
+        with pytest.raises(ValueError, match="dna-paper.*short-read"):
+            get_workload("weather-sim")
+
+    def test_reregistering_same_spec_is_idempotent(self):
+        assert register_workload(DNA_PAPER, key="dna-paper") is DNA_PAPER
+
+    def test_conflicting_registration_rejected(self):
+        with pytest.raises(ValueError, match="already registered"):
+            register_workload(SHORT_READ, key="dna-paper")
+
+    def test_round_trip_through_the_registry(self):
+        custom = WorkloadSpec(
+            name="round-trip", sequence_mb=123.0, pattern_lengths=(5, 7)
+        )
+        assert register_workload(custom) is custom
+        assert get_workload("round-trip") is custom
+        assert "round-trip" in workload_names()
+        assert custom in all_workloads()
+
+    def test_all_workloads_matches_names(self):
+        assert len(all_workloads()) == len(workload_names())
+
+
+class TestWorkloadSpec:
+    def test_validation(self):
+        with pytest.raises(ValueError, match="sequence_mb"):
+            WorkloadSpec(name="w", sequence_mb=0.0, pattern_lengths=(4,))
+        with pytest.raises(ValueError, match="alphabet_size"):
+            WorkloadSpec(name="w", alphabet_size=1, pattern_lengths=(4,))
+        with pytest.raises(ValueError, match="pattern_lengths"):
+            WorkloadSpec(name="w", pattern_lengths=())
+        with pytest.raises(ValueError, match="state_sharing"):
+            WorkloadSpec(name="w", pattern_lengths=(4,), state_sharing=1.0)
+        with pytest.raises(ValueError, match="match_density"):
+            WorkloadSpec(name="w", pattern_lengths=(4,), match_density=-0.1)
+        with pytest.raises(ValueError, match="name"):
+            WorkloadSpec(name="  ", pattern_lengths=(4,))
+
+    def test_expected_match_density(self):
+        # One length-2 pattern over 4 symbols matches 1/16 positions.
+        assert expected_match_density((2,), 4) == pytest.approx(1 / 16)
+        # Densities add across patterns.
+        assert expected_match_density((2, 2), 4) == pytest.approx(2 / 16)
+
+    def test_density_defaults_to_uniform_expectation(self):
+        spec = WorkloadSpec(name="w", pattern_lengths=(3, 4), alphabet_size=4)
+        assert spec.match_density == pytest.approx(4**-3 + 4**-4)
+
+    def test_automaton_model_scales_with_patterns_and_alphabet(self):
+        small = WorkloadSpec(name="s", pattern_lengths=(4,) * 2)
+        big = WorkloadSpec(name="b", pattern_lengths=(4,) * 20)
+        assert big.automaton_states > small.automaton_states
+        wide = WorkloadSpec(name="wi", alphabet_size=20, pattern_lengths=(4,) * 2)
+        assert wide.table_kb > small.table_kb
+
+    def test_state_sharing_shrinks_the_automaton(self):
+        flat = WorkloadSpec(name="f", pattern_lengths=(6,) * 10)
+        shared = WorkloadSpec(name="sh", pattern_lengths=(6,) * 10, state_sharing=0.5)
+        assert shared.automaton_states < flat.automaton_states
+
+    def test_denser_matches_slow_the_scan_and_the_roofline(self):
+        profile = TINY_ALPHABET.profile()
+        assert profile.host_rate_mbs < DNA_SCAN.host_rate_mbs
+        assert profile.scan_efficiency_scale < 1.0
+
+    def test_rare_matches_run_slightly_faster_than_the_reference(self):
+        profile = PROTEIN_ALPHABET.profile()
+        assert profile.host_rate_mbs > DNA_SCAN.host_rate_mbs
+        assert profile.scan_efficiency_scale > 1.0
+
+    def test_result_transfer_scales_with_pattern_count(self):
+        assert DENSE_MOTIF.result_mb == pytest.approx(6 * DNA_PAPER.result_mb)
+
+    def test_from_motifs_derives_lengths(self):
+        from repro.dna.motifs import DEFAULT_MOTIFS
+
+        spec = WorkloadSpec.from_motifs("derived", DEFAULT_MOTIFS)
+        assert spec.pattern_lengths == tuple(len(p) for p in DEFAULT_MOTIFS)
+
+    def test_specs_are_hashable_and_frozen(self):
+        assert hash(DNA_PAPER) is not None
+        with pytest.raises(AttributeError):
+            DNA_PAPER.sequence_mb = 1.0  # type: ignore[misc]
+
+    def test_profiles_are_distinct_across_the_registry(self):
+        rates = {spec.profile().host_rate_mbs for spec in all_workloads()}
+        tables = {spec.profile().table_kb for spec in all_workloads()}
+        assert len(rates) >= 3
+        assert len(tables) >= 4
+
+
+class TestDnaPaperIsTheReference:
+    """The paper's workload must derive the historical profile exactly."""
+
+    def test_reference_density_is_the_paper_workload(self):
+        assert DNA_PAPER.match_density == DNA_REFERENCE_MATCH_DENSITY
+
+    def test_profile_matches_dna_scan_bit_for_bit(self):
+        profile = DNA_PAPER.profile()
+        assert profile.host_rate_mbs == DNA_SCAN.host_rate_mbs
+        assert profile.device_rate_mbs == DNA_SCAN.device_rate_mbs
+        assert profile.table_kb == DNA_SCAN.table_kb
+        assert profile.result_mb == DNA_SCAN.result_mb
+        assert profile.transfer_overlap == DNA_SCAN.transfer_overlap
+        assert profile.scan_efficiency_scale == DNA_SCAN.scan_efficiency_scale == 1.0
+
+    def test_workload_profile_resolves_all_three_forms(self):
+        assert workload_profile(DNA_SCAN) is DNA_SCAN
+        assert workload_profile(DNA_PAPER) == DNA_PAPER.profile()
+        assert workload_profile("dna-paper") == DNA_PAPER.profile()
+
+
+class TestWorkloadSpace:
+    def test_dna_paper_on_emil_is_the_paper_space(self):
+        assert workload_space("dna-paper", EMIL) is DEFAULT_SPACE
+        assert workload_space(DNA_PAPER) is DEFAULT_SPACE
+
+    def test_small_inputs_coarsen_the_fraction_grid(self):
+        space = workload_space("short-read")
+        assert len(space.fractions) == 21
+        assert space.fractions[1] - space.fractions[0] == 5.0
+        assert space.max_fraction_steps == 2
+
+    def test_huge_inputs_refine_the_fraction_grid(self):
+        space = workload_space(LONG_GENOME)
+        assert len(space.fractions) == 81
+        assert space.fractions[1] - space.fractions[0] == 1.25
+        assert space.max_fraction_steps == 8
+
+    def test_paper_scale_inputs_keep_table1_fractions(self):
+        assert workload_fractions(DENSE_MOTIF) == FRACTIONS
+
+    def test_fraction_grids_always_span_0_to_100(self):
+        for spec in all_workloads():
+            fractions = workload_fractions(spec)
+            assert fractions[0] == 0.0
+            assert fractions[-1] == 100.0
+
+    def test_platform_and_workload_fits_compose(self):
+        # FatHost grids rescale threads; short-read coarsens fractions.
+        space = workload_space("short-read", get_platform("fathost"))
+        assert max(space.host_threads) == 128
+        assert len(space.fractions) == 21
+
+    def test_deviceless_platform_still_collapses_the_space(self):
+        space = workload_space("long-genome", get_platform("manycore"))
+        assert space.fractions == (100.0,)
+        assert space.device_threads == (1,)
+
+    def test_accepts_platform_names(self):
+        assert workload_space("dna-paper", "emil") is DEFAULT_SPACE

@@ -28,7 +28,7 @@ class TestLinePlot:
 
     def test_monotone_series_slopes_correctly(self):
         out = line_plot([0, 1, 2, 3], {"up": [0.0, 1.0, 2.0, 3.0]}, height=8, width=24)
-        rows = [l for l in out.splitlines() if "|" in l and l.rstrip().endswith("|")]
+        rows = [ln for ln in out.splitlines() if "|" in ln and ln.rstrip().endswith("|")]
         first_marker_col = [r.index("o") for r in rows if "o" in r]
         # Higher rows (earlier lines) hold larger y -> larger x positions.
         assert first_marker_col == sorted(first_marker_col, reverse=True)
@@ -57,14 +57,14 @@ class TestGantt:
 
     def test_two_lanes(self, timeline):
         out = gantt(timeline)
-        lines = [l for l in out.splitlines() if "|" in l]
+        lines = [ln for ln in out.splitlines() if "|" in ln]
         assert len(lines) == 2
-        assert any(l.strip().startswith("host") for l in lines)
-        assert any(l.strip().startswith("device") for l in lines)
+        assert any(ln.strip().startswith("host") for ln in lines)
+        assert any(ln.strip().startswith("device") for ln in lines)
 
     def test_busy_lanes_are_dense(self, timeline):
         out = gantt(timeline, width=60)
-        host_lane = next(l for l in out.splitlines() if l.strip().startswith("host"))
+        host_lane = next(ln for ln in out.splitlines() if ln.strip().startswith("host"))
         bar = host_lane.split("|")[1]
         # A well-balanced farm keeps the host almost always busy.
         assert bar.count(" ") < 0.2 * len(bar)

@@ -78,7 +78,7 @@ class TestEngineFlags:
         plain = capsys.readouterr().out
         assert main([*args, "--engine", "cached+batched"]) == 0
         cached = capsys.readouterr().out
-        line = next(l for l in plain.splitlines() if "configuration" in l)
+        line = next(ln for ln in plain.splitlines() if "configuration" in ln)
         assert line in cached
 
     def test_tune_unknown_method_is_an_error(self, capsys):
@@ -172,3 +172,77 @@ class TestPlatformFlags:
         assert "FatHost" in out
         assert "Emil" not in out
         assert "across 1 platforms" in out
+
+
+class TestWorkloadFlags:
+    """End-to-end coverage of --workload and the workloads/matrix artifacts."""
+
+    def test_workloads_artifact_lists_the_registry(self, capsys):
+        assert main(["workloads"]) == 0
+        out = capsys.readouterr().out
+        for name in (
+            "dna-paper", "short-read", "long-genome",
+            "dense-motif", "tiny-alphabet", "protein-alphabet",
+        ):
+            assert name in out
+
+    def test_unknown_workload_is_an_error(self, capsys):
+        assert main(["tune", "--workload", "weather-sim"]) == 2
+        err = capsys.readouterr().err
+        assert "unknown workload" in err
+        assert "dna-paper" in err
+
+    def test_tune_on_a_named_workload_uses_its_scale(self, capsys):
+        code = main([
+            "tune", "--method", "SAM", "--iterations", "60",
+            "--workload", "short-read",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "300 MB short-read workload" in out
+
+    def test_tune_default_workload_matches_explicit_dna_paper(self, capsys):
+        args = ["tune", "--method", "SAM", "--iterations", "60"]
+        assert main(args) == 0
+        default = capsys.readouterr().out
+        assert main([*args, "--workload", "dna-paper"]) == 0
+        explicit = capsys.readouterr().out
+        assert default == explicit
+        assert "dna-paper workload on Emil" in default
+
+    def test_campaign_honors_workload_flag(self, capsys):
+        code = main([
+            "campaign", "--workload", "dense-motif", "--platforms", "emil",
+            "--iterations", "60",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "dense-motif workload" in out
+
+    def test_matrix_small_budget_scale(self, capsys):
+        code = main([
+            "matrix", "--budget-scale", "small", "--iterations", "80",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "Scenario matrix: SAM across 3 workloads x 3 platforms" in out
+        for name in ("dna-paper", "short-read", "dense-motif"):
+            assert name in out
+        for name in ("Emil", "FatHost", "SlowLink"):
+            assert name in out
+        assert "best cell" in out
+
+    def test_matrix_explicit_subsets(self, capsys):
+        code = main([
+            "matrix", "--workloads", "short-read,long-genome",
+            "--platforms", "emil,slowlink", "--iterations", "60",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "across 2 workloads x 2 platforms" in out
+        assert "long-genome" in out and "FatHost" not in out
+
+    def test_matrix_unknown_workload_is_an_error(self, capsys):
+        code = main(["matrix", "--workloads", "nope", "--platforms", "emil"])
+        assert code == 2
+        assert "unknown workload" in capsys.readouterr().err

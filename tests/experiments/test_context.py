@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.experiments import default_context
+from repro.experiments import default_context, platform_context
 from repro.experiments.context import build_context
 
 
@@ -25,3 +25,26 @@ class TestContext:
 
     def test_space_is_paper_space(self, ctx):
         assert ctx.space.size() == 19926
+
+
+class TestWorkloadContexts:
+    @pytest.fixture(scope="class")
+    def short_read_ctx(self):
+        return build_context(workload="short-read", seed=0)
+
+    def test_paper_scenario_shares_the_default_cache(self):
+        assert platform_context("emil", 0, "dna-paper") is default_context(0)
+        assert platform_context("emil", 0) is default_context(0)
+
+    def test_workload_context_follows_the_scenario_space(self, short_read_ctx):
+        # short-read coarsens the fraction grid: 6*3 * 9*3 * 21 values.
+        assert short_read_ctx.space.size() == 6 * 3 * 9 * 3 * 21
+        assert short_read_ctx.sim.workload.name == "short-read"
+
+    def test_workload_context_rescales_training_sizes(self, short_read_ctx):
+        # 4 sizes x 40 fractions x (6*3 host + 9*3 device) grid points.
+        assert short_read_ctx.models.data.n_experiments == 7200
+        assert max(short_read_ctx.models.data.host.y) > 0
+        largest = 300.0  # short-read's sequence_mb maps onto the paper's 3170
+        host_mbs = short_read_ctx.models.data.host.X[:, -1]
+        assert host_mbs.max() <= largest

@@ -1,7 +1,6 @@
 """Figures 5-8 and Tables IV-V: prediction-accuracy artifacts."""
 
 import numpy as np
-import pytest
 
 from repro.core.params import DEVICE_THREADS, EVAL_HOST_THREADS
 from repro.experiments import (
