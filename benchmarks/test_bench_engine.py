@@ -1,10 +1,15 @@
-"""Evaluation-engine throughput: serial vs cached vs batched.
+"""Evaluation-engine and analytic-core throughput benchmarks.
 
-The tentpole claim of the engine subsystem: scoring candidate system
-configurations through the ML predictor in batches (packed tree-ensemble
-descent over a whole design matrix) beats per-config scalar calls by a
-wide margin, and caching makes annealing-style revisits nearly free —
-all while returning bit-identical values.
+Two tentpole claims live here.  The engine subsystem: scoring candidate
+system configurations through the ML predictor in batches (packed
+tree-ensemble descent over a whole design matrix) beats per-config
+scalar calls by a wide margin, and caching makes annealing-style
+revisits nearly free — all while returning bit-identical values.  The
+vectorized analytic core: EM space walks and training-grid generation
+pushed through the columnar perf-model/simulator path beat the faithful
+per-experiment scalar loops by well over an order of magnitude, again
+bit-identically (same best configuration, energies, tie-breaks, and
+noise draws).
 """
 
 import time
@@ -12,12 +17,26 @@ import time
 import numpy as np
 from conftest import run_once
 
-from repro.core import BatchedEngine, CachedEngine, SerialEngine, make_objective
+from repro.core import (
+    BatchedEngine,
+    CachedEngine,
+    MeasurementEvaluator,
+    SerialEngine,
+    enumerate_best,
+    enumerate_best_separable,
+    generate_training_data,
+    make_objective,
+)
+from repro.core.params import DEFAULT_SPACE
 from repro.experiments import render_table
+from repro.machines import PlatformSimulator
 
 N_CONFIGS = 2000
 BATCH_SIZE = 64
 MIN_BATCHED_SPEEDUP = 2.0  # acceptance floor; typically ~8-10x
+#: Acceptance floor for the vectorized analytic core (ISSUE 4); the EM
+#: walk typically lands ~100x and the training grid ~20-30x.
+MIN_VECTORIZED_SPEEDUP = 10.0
 
 
 def test_engine_throughput(benchmark, ctx):
@@ -70,3 +89,96 @@ def test_engine_throughput(benchmark, ctx):
 
     assert t_serial / t_batched >= MIN_BATCHED_SPEEDUP
     assert t_cached < t_batched
+
+
+def test_em_walk_throughput(benchmark):
+    """EM space walk: scalar per-configuration walk vs vectorized separable.
+
+    The scalar baseline is the faithful 19 926-configuration walk (two
+    measurements per configuration through per-call Python); the
+    vectorized path measures the separable per-side grids as columns and
+    finds the optimum with one broadcast max/argmin.  Results must be
+    identical: same best configuration, same energy, same tie-break.
+    """
+    size = 3170.0
+
+    def compare():
+        t0 = time.perf_counter()
+        scalar = enumerate_best(
+            DEFAULT_SPACE, MeasurementEvaluator(PlatformSimulator(seed=0)), size
+        )
+        t_scalar = time.perf_counter() - t0
+        t0 = time.perf_counter()
+        fast = enumerate_best_separable(DEFAULT_SPACE, PlatformSimulator(seed=0), size)
+        t_fast = time.perf_counter() - t0
+        assert fast.best_config == scalar.best_config
+        assert fast.best_energy == scalar.best_energy
+        return t_scalar, t_fast
+
+    t_scalar, t_fast = run_once(benchmark, compare)
+    n = DEFAULT_SPACE.size()
+    benchmark.extra_info["em_vectorized_speedup"] = t_scalar / t_fast
+    benchmark.extra_info["em_vectorized_configs_per_s"] = n / t_fast
+    print()
+    print(render_table(
+        ["path", "time [ms]", "configs/s", "speedup"],
+        [
+            ("scalar walk", round(1e3 * t_scalar, 1), round(n / t_scalar), 1.0),
+            ("vectorized separable", round(1e3 * t_fast, 2), round(n / t_fast),
+             round(t_scalar / t_fast, 1)),
+        ],
+        title=f"EM space walk, |space| = {n}",
+    ))
+    assert t_scalar / t_fast >= MIN_VECTORIZED_SPEEDUP
+
+
+def test_training_grid_throughput(benchmark):
+    """Training-grid generation: per-item measurements vs columnar grids.
+
+    The scalar baseline performs the paper's 7200 experiments one
+    ``measure_*`` call at a time (the pre-vectorization protocol); the
+    columnar path measures each side's whole grid as arrays.  The
+    resulting datasets must be bit-identical, including the noise draws.
+    """
+
+    def compare():
+        t0 = time.perf_counter()
+        columnar = generate_training_data(PlatformSimulator(seed=0))
+        t_fast = time.perf_counter() - t0
+        sim = PlatformSimulator(seed=0)
+        t0 = time.perf_counter()
+        host_y = [
+            sim.measure_host(int(t), a, float(m))
+            for t, a, m in _rows(columnar.host.X, "host")
+        ]
+        device_y = [
+            sim.measure_device(int(t), a, float(m))
+            for t, a, m in _rows(columnar.device.X, "device")
+        ]
+        t_scalar = time.perf_counter() - t0
+        assert columnar.host.y.tolist() == host_y
+        assert columnar.device.y.tolist() == device_y
+        return t_scalar, t_fast, columnar.n_experiments
+
+    t_scalar, t_fast, n = run_once(benchmark, compare)
+    benchmark.extra_info["training_vectorized_speedup"] = t_scalar / t_fast
+    benchmark.extra_info["training_vectorized_configs_per_s"] = n / t_fast
+    print()
+    print(render_table(
+        ["path", "time [ms]", "experiments/s", "speedup"],
+        [
+            ("per-item measurements", round(1e3 * t_scalar, 1), round(n / t_scalar), 1.0),
+            ("columnar grids", round(1e3 * t_fast, 2), round(n / t_fast),
+             round(t_scalar / t_fast, 1)),
+        ],
+        title=f"training-grid generation, {n} experiments",
+    ))
+    assert t_scalar / t_fast >= MIN_VECTORIZED_SPEEDUP
+
+
+def _rows(X, side):
+    """Decode (threads, affinity, mb) rows from an encoded design matrix."""
+    from repro.machines.affinity import affinity_domain
+
+    domain = affinity_domain(side)
+    return [(row[0], domain[int(np.argmax(row[1:-1]))], row[-1]) for row in X]

@@ -35,14 +35,21 @@ Backends and trade-offs
     of distinct configurations seen — bounded by the space size.
 
 :class:`BatchedEngine`
-    Exploits objectives that expose ``evaluate_batch`` (see
-    :class:`~repro.core.evaluators.MLEvaluator`): whole candidate
-    batches are pushed through the vectorized NumPy prediction path in
-    one call instead of per-config Python tree walks (≳2x throughput at
-    modest batch sizes; see ``benchmarks/test_bench_engine.py``).  For
-    scalar-only objectives an optional ``multiprocessing`` pool fans the
-    batch out across worker processes (the objective must be picklable;
-    side effects like experiment counters stay in the workers).  With
+    Exploits objectives that expose ``evaluate_batch``: whole candidate
+    batches are pushed through a vectorized NumPy path in one call
+    instead of per-config Python work (see
+    ``benchmarks/test_bench_engine.py``).  Two evaluator families hit
+    NumPy this way: :class:`~repro.core.evaluators.MLEvaluator` runs
+    packed tree-ensemble descent over the whole design matrix, and
+    :class:`~repro.core.evaluators.MeasurementEvaluator` columnarizes
+    uncached configurations into a
+    :class:`~repro.core.params.ConfigTable` and scores them through the
+    vectorized analytic core (array-native perf model, roofline, and
+    seed-per-key simulator noise) — so batching pays off for *both*
+    prediction- and measurement-backed searches.  For scalar-only
+    objectives an optional ``multiprocessing`` pool fans the batch out
+    across worker processes (the objective must be picklable; side
+    effects like experiment counters stay in the workers).  With
     neither a batch method nor a pool it degrades to a serial loop.
 
 Use :func:`make_engine` to construct a backend by name — the CLI's

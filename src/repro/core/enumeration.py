@@ -20,6 +20,9 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+import numpy as np
+
+from ..machines.affinity import affinity_domain
 from .energy import ConfigurationEvaluator, Energy
 from .params import ParameterSpace, SystemConfiguration
 
@@ -96,6 +99,30 @@ def _scored_configs(
         yield from zip(chunk, engine.evaluate_batch(objective, chunk))
 
 
+def _side_grid_times(
+    sim, side: str, threads: tuple, affinities: tuple, mb_per_fraction: np.ndarray
+) -> np.ndarray:
+    """Measure one side's ``(combo, fraction)`` grid as arrays.
+
+    Combos are ordered threads-major / affinity-minor (Table I order);
+    zero-MB fractions cost 0 s without consuming an experiment, exactly
+    like the historical per-call loop.
+    """
+    codes = np.asarray(
+        [affinity_domain(side).index(a) for a in affinities], dtype=np.int64
+    )
+    n_combo, n_f = len(threads) * len(affinities), len(mb_per_fraction)
+    threads_col = np.repeat(np.asarray(threads, dtype=np.int64), len(affinities) * n_f)
+    codes_col = np.tile(np.repeat(codes, n_f), len(threads))
+    mb_col = np.tile(mb_per_fraction, n_combo)
+    times = np.zeros(n_combo * n_f)
+    sel = mb_col > 0
+    measure = sim.measure_host_columns if side == "host" else sim.measure_device_columns
+    if sel.any():
+        times[sel] = measure(threads_col[sel], codes_col[sel], mb_col[sel])
+    return times.reshape(n_combo, n_f)
+
+
 def enumerate_best_separable(
     space: ParameterSpace,
     sim,
@@ -106,37 +133,31 @@ def enumerate_best_separable(
     Produces the same optimum as :func:`enumerate_best` over a
     :class:`~repro.core.evaluators.MeasurementEvaluator` on the same
     simulator (asserted by the integration tests), in
-    ``O(host_grid + device_grid + |space|)`` time with the ``|space|``
-    term a pure float comparison loop.
+    ``O(host_grid + device_grid + |space|)`` time.  Both per-side
+    measurement grids go through the simulator's columnar fast path and
+    the ``|space|``-sized cross product is a single broadcast
+    ``max``/``argmin`` — no per-configuration Python at all.  Ties break
+    toward the earlier configuration in Table I order (C-order argmin),
+    matching the historical comparison loop exactly.
     """
-    host_times: dict[tuple[int, str, float], float] = {}
-    device_times: dict[tuple[int, str, float], float] = {}
-    for f in space.fractions:
-        host_mb = size_mb * f / 100.0
-        device_mb = size_mb - host_mb
-        for ht in space.host_threads:
-            for ha in space.host_affinities:
-                if host_mb > 0:
-                    host_times[(ht, ha, f)] = sim.measure_host(ht, ha, host_mb)
-                else:
-                    host_times[(ht, ha, f)] = 0.0
-        for dt in space.device_threads:
-            for da in space.device_affinities:
-                if device_mb > 0:
-                    device_times[(dt, da, f)] = sim.measure_device(dt, da, device_mb)
-                else:
-                    device_times[(dt, da, f)] = 0.0
-
-    best: tuple[float, SystemConfiguration, Energy] | None = None
-    count = 0
-    for config in space.iter_configs():
-        th = host_times[(config.host_threads, config.host_affinity, config.host_fraction)]
-        td = device_times[
-            (config.device_threads, config.device_affinity, config.host_fraction)
-        ]
-        count += 1
-        e = max(th, td)
-        if best is None or e < best[0]:
-            best = (e, config, Energy(th, td))
-    assert best is not None
-    return EnumerationResult(best[1], best[2], count)
+    fractions = np.asarray(space.fractions, dtype=np.float64)
+    host_mb = size_mb * fractions / 100.0
+    device_mb = size_mb - host_mb
+    th = _side_grid_times(sim, "host", space.host_threads, space.host_affinities, host_mb)
+    td = _side_grid_times(
+        sim, "device", space.device_threads, space.device_affinities, device_mb
+    )
+    energy = np.maximum(th[:, None, :], td[None, :, :])  # (host, device, fraction)
+    flat_best = int(np.argmin(energy.reshape(-1)))
+    h, d, f = np.unravel_index(flat_best, energy.shape)
+    n_ha = len(space.host_affinities)
+    n_da = len(space.device_affinities)
+    best_config = SystemConfiguration(
+        space.host_threads[h // n_ha],
+        space.host_affinities[h % n_ha],
+        space.device_threads[d // n_da],
+        space.device_affinities[d % n_da],
+        float(fractions[f]),
+    )
+    best_energy = Energy(float(th[h, f]), float(td[d, f]))
+    return EnumerationResult(best_config, best_energy, space.size())

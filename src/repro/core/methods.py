@@ -56,9 +56,13 @@ METHOD_PROPERTIES: dict[str, dict[str, str]] = {
 }
 
 
-@dataclass
+@dataclass(frozen=True)
 class MethodResult:
-    """Uniform outcome of one optimization method."""
+    """Uniform outcome of one optimization method.
+
+    Frozen: results are shared (the campaign layer caches EM references
+    per cell), so they must stay immutable after construction.
+    """
 
     method: str
     config: SystemConfiguration

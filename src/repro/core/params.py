@@ -93,6 +93,104 @@ class SystemConfiguration:
         )
 
 
+class ConfigTable:
+    """Structure-of-arrays view of a batch of system configurations.
+
+    The columnar twin of ``list[SystemConfiguration]``: five aligned
+    NumPy columns (thread counts and affinity *codes* per side, plus the
+    host workload fraction) that the vectorized analytic core consumes
+    directly — affinity codes index :data:`~repro.machines.affinity.HOST_AFFINITIES`
+    / :data:`~repro.machines.affinity.DEVICE_AFFINITIES` in feature-
+    encoding order.  Construction from objects costs one Python pass;
+    everything downstream (perf model, simulator noise, enumeration
+    argmin) is array math.
+    """
+
+    __slots__ = (
+        "host_threads",
+        "host_codes",
+        "device_threads",
+        "device_codes",
+        "host_fraction",
+    )
+
+    def __init__(
+        self,
+        host_threads: np.ndarray,
+        host_codes: np.ndarray,
+        device_threads: np.ndarray,
+        device_codes: np.ndarray,
+        host_fraction: np.ndarray,
+    ) -> None:
+        self.host_threads = np.asarray(host_threads, dtype=np.int64)
+        self.host_codes = np.asarray(host_codes, dtype=np.int64)
+        self.device_threads = np.asarray(device_threads, dtype=np.int64)
+        self.device_codes = np.asarray(device_codes, dtype=np.int64)
+        self.host_fraction = np.asarray(host_fraction, dtype=np.float64)
+        n = len(self.host_threads)
+        for col in (self.host_codes, self.device_threads, self.device_codes, self.host_fraction):
+            if len(col) != n:
+                raise ValueError("ConfigTable columns must have equal length")
+
+    @classmethod
+    def from_configs(cls, configs: Sequence[SystemConfiguration]) -> "ConfigTable":
+        """Columnarize a configuration batch (one Python pass)."""
+        n = len(configs)
+        h_index = {a: i for i, a in enumerate(HOST_AFFINITIES)}
+        d_index = {a: i for i, a in enumerate(DEVICE_AFFINITIES)}
+        return cls(
+            np.fromiter((c.host_threads for c in configs), dtype=np.int64, count=n),
+            np.fromiter((h_index[c.host_affinity] for c in configs), dtype=np.int64, count=n),
+            np.fromiter((c.device_threads for c in configs), dtype=np.int64, count=n),
+            np.fromiter((d_index[c.device_affinity] for c in configs), dtype=np.int64, count=n),
+            np.fromiter((c.host_fraction for c in configs), dtype=np.float64, count=n),
+        )
+
+    @classmethod
+    def from_space(cls, space: "ParameterSpace") -> "ConfigTable":
+        """The whole space as columns, in Table I enumeration order.
+
+        Matches :meth:`ParameterSpace.iter_configs` row for row without
+        constructing a single :class:`SystemConfiguration`.
+        """
+        h_codes = [HOST_AFFINITIES.index(a) for a in space.host_affinities]
+        d_codes = [DEVICE_AFFINITIES.index(a) for a in space.device_affinities]
+        grids = np.meshgrid(
+            np.asarray(space.host_threads, dtype=np.int64),
+            np.asarray(h_codes, dtype=np.int64),
+            np.asarray(space.device_threads, dtype=np.int64),
+            np.asarray(d_codes, dtype=np.int64),
+            np.asarray(space.fractions, dtype=np.float64),
+            indexing="ij",
+        )
+        return cls(*(g.ravel() for g in grids))
+
+    def __len__(self) -> int:
+        return len(self.host_threads)
+
+    def host_mb(self, size_mb: float) -> np.ndarray:
+        """Per-row megabytes scanned by the host (same ops as the scalar path)."""
+        return size_mb * self.host_fraction / 100.0
+
+    def device_mb(self, size_mb: float) -> np.ndarray:
+        """Per-row megabytes offloaded to the device."""
+        return size_mb - self.host_mb(size_mb)
+
+    def config_at(self, i: int) -> SystemConfiguration:
+        """Materialize one row as a :class:`SystemConfiguration`."""
+        return SystemConfiguration(
+            int(self.host_threads[i]),
+            HOST_AFFINITIES[int(self.host_codes[i])],
+            int(self.device_threads[i]),
+            DEVICE_AFFINITIES[int(self.device_codes[i])],
+            float(self.host_fraction[i]),
+        )
+
+    def configs(self) -> list[SystemConfiguration]:
+        """Materialize every row (the inverse of :meth:`from_configs`)."""
+        return [self.config_at(i) for i in range(len(self))]
+
+
 #: Reference configurations used as baselines throughout the evaluation.
 def host_only_config(threads: int = 48, affinity: str = "scatter") -> SystemConfiguration:
     """All work on the host (paper's CPU-only baseline uses 48 threads)."""

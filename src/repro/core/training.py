@@ -23,11 +23,12 @@ from ..ml.dataset import (
     Dataset,
     encode_device_row,
     encode_host_row,
+    encode_side_columns,
 )
 from ..ml.validation import EvalResult, Regressor, half_split
 from .evaluators import MLEvaluator
 from .params import DEVICE_THREADS, EVAL_HOST_THREADS
-from ..machines.affinity import DEVICE_AFFINITIES, HOST_AFFINITIES
+from ..machines.affinity import DEVICE_AFFINITIES, HOST_AFFINITIES, affinity_index
 
 #: Training fractions: 2.5%..100% in 2.5 steps (40 values, excludes 0 —
 #: a 0% side is never launched, so there is nothing to measure).
@@ -86,6 +87,29 @@ def _grid_items(
     ]
 
 
+def _grid_columns(
+    sizes_mb: Sequence[float],
+    fractions: Sequence[float],
+    threads: Sequence[int],
+    affinities: Sequence[str],
+    side: str,
+) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """One side's grid as ``(threads, affinity codes, mb)`` columns.
+
+    Row order and megabyte values match :func:`_grid_items` exactly
+    (same ``size * f / 100`` expression, elementwise).
+    """
+    codes = np.asarray([affinity_index(a, side) for a in affinities], dtype=np.int64)
+    size_g, frac_g, thread_g, code_g = np.meshgrid(
+        np.asarray(sizes_mb, dtype=np.float64),
+        np.asarray(fractions, dtype=np.float64),
+        np.asarray(threads, dtype=np.int64),
+        codes,
+        indexing="ij",
+    )
+    return thread_g.ravel(), code_g.ravel(), size_g.ravel() * frac_g.ravel() / 100.0
+
+
 def generate_training_data(
     sim: PlatformSimulator,
     *,
@@ -100,24 +124,34 @@ def generate_training_data(
     """Run the full training grid on the measurement substrate.
 
     With the defaults this performs exactly 2880 host and 4320 device
-    experiments, matching section IV-B.  Each side's grid is generated
-    as one batched measurement campaign (identical values and experiment
-    accounting to the historical per-call loop); ``processes`` fans the
-    timing work of large grids out over a worker pool.
+    experiments, matching section IV-B.  Each side's grid is generated,
+    measured, and feature-encoded as whole columns through the
+    simulator's vectorized analytic core (identical values, rows, and
+    experiment accounting to the historical per-call loop); ``processes``
+    instead fans per-item timing work out over a worker pool, which only
+    pays off for far more expensive substrates than the analytic model.
     """
-    host_items = _grid_items(sizes_mb, fractions, host_threads, host_affinities)
-    device_items = _grid_items(sizes_mb, fractions, device_threads, device_affinities)
-    host_y = sim.measure_host_batch(host_items, processes=processes)
-    device_y = sim.measure_device_batch(device_items, processes=processes)
-    host_rows = [encode_host_row(t, a, mb) for t, a, mb in host_items]
-    device_rows = [encode_device_row(t, a, mb) for t, a, mb in device_items]
+    if processes is not None and processes > 1:
+        host_items = _grid_items(sizes_mb, fractions, host_threads, host_affinities)
+        device_items = _grid_items(sizes_mb, fractions, device_threads, device_affinities)
+        host_y = np.asarray(sim.measure_host_batch(host_items, processes=processes))
+        device_y = np.asarray(sim.measure_device_batch(device_items, processes=processes))
+        host_X = np.array([encode_host_row(t, a, mb) for t, a, mb in host_items])
+        device_X = np.array([encode_device_row(t, a, mb) for t, a, mb in device_items])
+    else:
+        h_threads, h_codes, h_mb = _grid_columns(
+            sizes_mb, fractions, host_threads, host_affinities, "host"
+        )
+        d_threads, d_codes, d_mb = _grid_columns(
+            sizes_mb, fractions, device_threads, device_affinities, "device"
+        )
+        host_y = sim.measure_host_columns(h_threads, h_codes, h_mb)
+        device_y = sim.measure_device_columns(d_threads, d_codes, d_mb)
+        host_X = encode_side_columns(h_threads, h_codes, h_mb, HOST_AFFINITIES)
+        device_X = encode_side_columns(d_threads, d_codes, d_mb, DEVICE_AFFINITIES)
     return TrainingData(
-        host=Dataset(
-            np.array(host_rows), np.array(host_y), HOST_FEATURE_NAMES
-        ),
-        device=Dataset(
-            np.array(device_rows), np.array(device_y), DEVICE_FEATURE_NAMES
-        ),
+        host=Dataset(host_X, host_y, HOST_FEATURE_NAMES),
+        device=Dataset(device_X, device_y, DEVICE_FEATURE_NAMES),
     )
 
 

@@ -9,6 +9,8 @@ from .affinity import (
     DEVICE_AFFINITIES,
     HOST_AFFINITIES,
     affinity_index,
+    device_placement_stats,
+    host_placement_stats,
     place_device_threads,
     place_host_threads,
 )
@@ -18,6 +20,7 @@ from .perfmodel import (
     DevicePerformanceModel,
     HostPerformanceModel,
     WorkloadProfile,
+    predict_times_batch,
 )
 from .registry import (
     DEFAULT_PLATFORM_KEY,
@@ -55,8 +58,11 @@ __all__ = [
     "DEVICE_AFFINITIES",
     "HOST_AFFINITIES",
     "affinity_index",
+    "device_placement_stats",
+    "host_placement_stats",
     "place_device_threads",
     "place_host_threads",
+    "predict_times_batch",
     "OffloadCost",
     "offload_cost",
     "transfer_time_s",

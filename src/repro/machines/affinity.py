@@ -23,10 +23,11 @@ so placements can be validated and summarized exactly.
 
 from __future__ import annotations
 
+from functools import lru_cache
 from typing import Sequence
 
 from .spec import CPUSpec, PhiSpec, PlatformSpec
-from .topology import Slot
+from .topology import PlacementStats, Slot, placement_stats
 
 #: Valid affinity names per side, in the order used for feature encoding.
 HOST_AFFINITIES: tuple[str, ...] = ("none", "scatter", "compact")
@@ -125,9 +126,36 @@ def place_device_threads(
     return _balanced(n_threads, device.usable_cores, device.threads_per_core)
 
 
+@lru_cache(maxsize=8192)
+def host_placement_stats(
+    n_threads: int, affinity: str, platform: PlatformSpec
+) -> PlacementStats:
+    """Cached placement statistics for a host configuration.
+
+    The (threads, affinity) domain is tiny (18 combinations on the
+    paper's grids) while enumeration walks and training grids consult it
+    tens of thousands of times, so the concrete slot list is built once
+    per key and only its summary is kept.
+    """
+    return placement_stats(place_host_threads(n_threads, affinity, platform))
+
+
+@lru_cache(maxsize=8192)
+def device_placement_stats(
+    n_threads: int, affinity: str, device: PhiSpec
+) -> PlacementStats:
+    """Cached placement statistics for a device configuration."""
+    return placement_stats(place_device_threads(n_threads, affinity, device))
+
+
+def affinity_domain(side: str) -> tuple[str, ...]:
+    """The affinity-name domain of one side, in feature-encoding order."""
+    return HOST_AFFINITIES if side == "host" else DEVICE_AFFINITIES
+
+
 def affinity_index(affinity: str, side: str) -> int:
     """Stable integer id of an affinity name, used for feature encoding."""
-    table: Sequence[str] = HOST_AFFINITIES if side == "host" else DEVICE_AFFINITIES
+    table: Sequence[str] = affinity_domain(side)
     try:
         return table.index(affinity)
     except ValueError:

@@ -19,6 +19,7 @@ the resulting contention, so here we only consider footprint.
 from __future__ import annotations
 
 import math
+from functools import lru_cache
 
 from .spec import CPUSpec, PhiSpec
 
@@ -39,6 +40,7 @@ def _smooth_step(x: float) -> float:
     return 3 * x * x - 2 * x * x * x
 
 
+@lru_cache(maxsize=4096)
 def locality_factor(table_kb: float, l1_kb: float, l2_kb: float, llc_kb: float) -> float:
     """Multiplicative throughput factor in (0, 1] for a lookup table.
 
@@ -62,12 +64,14 @@ def locality_factor(table_kb: float, l1_kb: float, l2_kb: float, llc_kb: float) 
     return max(factor, 0.05)
 
 
+@lru_cache(maxsize=4096)
 def host_locality_factor(table_kb: float, cpu: CPUSpec) -> float:
     """Locality factor for one host thread's view of the cache hierarchy."""
     llc_kb = cpu.l3_mb * 1024.0
     return locality_factor(table_kb, cpu.l1_kb, cpu.l2_kb, llc_kb)
 
 
+@lru_cache(maxsize=4096)
 def device_locality_factor(table_kb: float, device: PhiSpec) -> float:
     """Locality factor on the Phi: private L1, per-core slice of the ring L2."""
     per_core_l2_kb = device.l2_mb * 1024.0 / device.cores

@@ -10,6 +10,8 @@ memory controllers, while scatter placements stream from both.
 
 from __future__ import annotations
 
+import numpy as np
+
 from .spec import PhiSpec, PlatformSpec
 from .topology import PlacementStats
 
@@ -68,6 +70,31 @@ def device_scan_roofline_mbs(
     return device.mem_bandwidth_gbs * 1024.0 * efficiency * workload_scale
 
 
+def host_scan_roofline_mbs_array(
+    platform: PlatformSpec,
+    sockets_used: np.ndarray,
+    *,
+    efficiency: float | None = None,
+    workload_scale: float = 1.0,
+) -> np.ndarray:
+    """Array twin of :func:`host_scan_roofline_mbs` over ``sockets_used``.
+
+    Performs the scalar function's arithmetic elementwise in the same
+    operation order, so each element is bit-identical to the scalar call
+    for the same placement (IEEE-754 basic operations are exact per
+    element; no transcendentals are involved).
+    """
+    if efficiency is None:
+        efficiency = HOST_SCAN_EFFICIENCY
+    if workload_scale <= 0:
+        raise ValueError(f"workload_scale must be positive, got {workload_scale}")
+    full = platform.host_mem_bandwidth_gbs * 1024.0 * efficiency * workload_scale
+    su = np.asarray(sockets_used, dtype=np.float64)
+    fraction = 0.55 * su / max(1, platform.sockets - 1)
+    capped = full * np.minimum(1.0, fraction + 0.45 * (su - 1))
+    return np.where(su >= platform.sockets, full, capped)
+
+
 def combine_rates(linear_rate_mbs: float, roofline_mbs: float) -> float:
     """Blend linear thread scaling with the roofline.
 
@@ -77,5 +104,14 @@ def combine_rates(linear_rate_mbs: float, roofline_mbs: float) -> float:
     optimizer landscape realistic (distinct times for 24 vs 48 threads).
     """
     if linear_rate_mbs <= 0 or roofline_mbs <= 0:
+        raise ValueError("rates must be positive")
+    return 1.0 / (1.0 / linear_rate_mbs + 1.0 / roofline_mbs)
+
+
+def combine_rates_array(
+    linear_rate_mbs: np.ndarray, roofline_mbs: np.ndarray
+) -> np.ndarray:
+    """Array twin of :func:`combine_rates` (same ops, elementwise)."""
+    if np.any(linear_rate_mbs <= 0) or np.any(roofline_mbs <= 0):
         raise ValueError("rates must be positive")
     return 1.0 / (1.0 / linear_rate_mbs + 1.0 / roofline_mbs)

@@ -36,12 +36,23 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
-from .affinity import place_device_threads, place_host_threads
+import numpy as np
+
+from .affinity import (
+    DEVICE_AFFINITIES,
+    HOST_AFFINITIES,
+    device_placement_stats,
+    host_placement_stats,
+)
 from .cache import device_locality_factor, host_locality_factor, log2_threads
-from .interconnect import offload_cost
-from .memory import combine_rates, device_scan_roofline_mbs, host_scan_roofline_mbs
+from .interconnect import offload_cost, transfer_time_s
+from .memory import (
+    combine_rates_array,
+    device_scan_roofline_mbs,
+    host_scan_roofline_mbs_array,
+)
 from .spec import EMIL, PlatformSpec
-from .topology import PlacementStats, placement_stats
+from .topology import PlacementStats, sockets_used_column
 
 # --- calibration constants -------------------------------------------------
 
@@ -129,13 +140,168 @@ def _aggregate_linear_rate(
     return total
 
 
-class HostPerformanceModel:
+def _side_columns(
+    threads, affinities, mb, domain: tuple[str, ...], side: str
+) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Normalize one side's configuration columns for the batch path.
+
+    ``affinities`` is either an integer code array (indices into
+    ``domain``, the feature-encoding order of
+    :mod:`repro.machines.affinity`) or a sequence of affinity names.
+    """
+    threads_arr = np.asarray(threads, dtype=np.int64)
+    mb_arr = np.asarray(mb, dtype=np.float64)
+    if isinstance(affinities, np.ndarray) and affinities.dtype.kind in "iu":
+        codes = affinities.astype(np.int64, copy=False)
+        if codes.size and (codes.min() < 0 or codes.max() >= len(domain)):
+            raise ValueError(f"{side} affinity codes must index into {domain}")
+    else:
+        index = {name: i for i, name in enumerate(domain)}
+        try:
+            codes = np.fromiter(
+                (index[a] for a in affinities), dtype=np.int64, count=len(affinities)
+            )
+        except KeyError as exc:
+            raise ValueError(
+                f"unknown {side} affinity {exc.args[0]!r}; expected one of {domain}"
+            ) from None
+    if not (threads_arr.shape == codes.shape == mb_arr.shape):
+        raise ValueError("threads, affinities, and mb must have matching shapes")
+    if np.any(mb_arr < 0):
+        raise ValueError("mb must be >= 0")
+    return threads_arr, codes, mb_arr
+
+
+#: Key packing base for the per-model (threads, affinity) rate tables;
+#: both affinity domains have 3 entries, so 8 leaves headroom.
+_KEY_BASE = 8
+
+
+class _SidePerformanceModel:
+    """Shared columnar machinery of the per-side performance models.
+
+    Subclasses describe one side of a platform (its affinity domain,
+    placement function, and roofline) and set the calibration fields in
+    ``__init__``; everything else — the per-``(threads, affinity)``
+    ``(rate, spawn)`` key table, the scalar :meth:`time`, and the
+    array-native :meth:`times_batch` — lives here.  The pair domain is
+    tiny (18/27 combinations on the paper's grids), so each key
+    resolves its placement and rate exactly once; scalar and batch
+    callers read the same table, making their results bit-identical by
+    construction.
+    """
+
+    _affinities: tuple[str, ...] = ()
+    _side = ""
+
+    # Calibration fields assigned by subclass __init__.
+    platform: PlatformSpec
+    workload: WorkloadProfile
+
+    def placement(self, threads: int, affinity: str) -> PlacementStats:
+        """Placement statistics for one side's configuration."""
+        raise NotImplementedError
+
+    def _roofline_array(self, stats: list[PlacementStats]) -> np.ndarray:
+        """Scan-roofline rates (MB/s) for a list of placements."""
+        raise NotImplementedError
+
+    # -- the per-(threads, affinity) rate/spawn table -----------------------
+
+    def _fill_keys(self, pairs: list[tuple[int, int]]) -> None:
+        """Resolve missing (threads, affinity-code) keys into the table.
+
+        Rates are composed in array form — linear thread scaling times
+        locality and affinity factors, harmonically blended with the
+        scan roofline — using the exact elementwise operation order of
+        the historical scalar path (all IEEE-754 basic operations, so
+        per-key results are bit-identical to it).
+        """
+        names = [self._affinities[c] for _, c in pairs]
+        stats = [self.placement(t, name) for (t, _), name in zip(pairs, names)]
+        lin = np.array(
+            [_aggregate_linear_rate(s, self._thread_rate, self._ht_yield) for s in stats]
+        )
+        aff = np.array([self._affinity_rate.get(name, 1.0) for name in names])
+        roof = self._roofline_array(stats)
+        rates = combine_rates_array(lin * (self._locality * aff), roof)
+        for (t, c), rate in zip(pairs, rates):
+            spawn = self.perf.spawn_base_s + self.perf.spawn_per_log2_s * log2_threads(t)
+            self._keys[(t, c)] = (float(rate), spawn)
+
+    def _code(self, affinity: str) -> int:
+        try:
+            return self._affinities.index(affinity)
+        except ValueError:
+            raise ValueError(
+                f"unknown {self._side} affinity {affinity!r}; "
+                f"expected one of {self._affinities}"
+            ) from None
+
+    def _key(self, threads: int, code: int) -> tuple[float, float]:
+        hit = self._keys.get((threads, code))
+        if hit is None:
+            self._fill_keys([(threads, code)])
+            hit = self._keys[(threads, code)]
+        return hit
+
+    def _gather(
+        self, threads_arr: np.ndarray, codes: np.ndarray
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Per-item (rates, spawns) columns via the unique-key table."""
+        packed = threads_arr * _KEY_BASE + codes
+        uniq, inverse = np.unique(packed, return_inverse=True)
+        pairs = [divmod(int(p), _KEY_BASE) for p in uniq]
+        missing = [pair for pair in pairs if pair not in self._keys]
+        if missing:
+            self._fill_keys(missing)
+        rate_u = np.array([self._keys[pair][0] for pair in pairs])
+        spawn_u = np.array([self._keys[pair][1] for pair in pairs])
+        return rate_u[inverse], spawn_u[inverse]
+
+    # -- public protocol ----------------------------------------------------
+
+    def rate_mbs(self, threads: int, affinity: str) -> float:
+        """Aggregate scan rate (MB/s) of ``threads`` threads on this side."""
+        return self._key(threads, self._code(affinity))[0]
+
+    def time(self, threads: int, affinity: str, mb: float) -> float:
+        """Seconds to scan ``mb`` megabytes on this side (0 MB -> 0 s)."""
+        if mb < 0:
+            raise ValueError(f"mb must be >= 0, got {mb}")
+        if mb == 0:
+            return 0.0
+        rate, spawn = self._key(threads, self._code(affinity))
+        return spawn + mb / rate
+
+    def times_batch(self, threads, affinities, mb) -> np.ndarray:
+        """Array-native :meth:`time` over whole configuration columns.
+
+        ``threads``/``mb`` are array-likes of equal length; ``affinities``
+        is a name sequence or an integer code array (see
+        :func:`~repro.machines.affinity.affinity_index` order).  Each
+        element is bit-identical to the scalar :meth:`time` call.
+        """
+        threads_arr, codes, mb_arr = _side_columns(
+            threads, affinities, mb, self._affinities, self._side
+        )
+        rates, spawns = self._gather(threads_arr, codes)
+        return np.where(mb_arr == 0.0, 0.0, spawns + mb_arr / rates)
+
+
+class HostPerformanceModel(_SidePerformanceModel):
     """Noiseless execution-time model for the host side.
 
     All calibration comes from ``platform.host_perf`` (see
     :class:`~repro.machines.spec.PerfProfile`); with the default Emil
     profile this reproduces the historical module constants exactly.
+    Scalar :meth:`time` and array-native :meth:`times_batch` share one
+    per-``(threads, affinity)`` key table (see
+    :class:`_SidePerformanceModel`), so they are bit-identical.
     """
+
+    _affinities = HOST_AFFINITIES
+    _side = "host"
 
     def __init__(
         self,
@@ -148,44 +314,39 @@ class HostPerformanceModel:
         self._locality = host_locality_factor(workload.table_kb, platform.cpu)
         self._ht_yield = self.perf.ht_yield_table
         self._affinity_rate = self.perf.affinity_rates
+        self._thread_rate = workload.host_rate_mbs * self.perf.rate_scale
+        #: (threads, affinity code) -> (rate_mbs, spawn_s)
+        self._keys: dict[tuple[int, int], tuple[float, float]] = {}
 
     def placement(self, threads: int, affinity: str) -> PlacementStats:
         """Placement statistics for a host configuration."""
-        return placement_stats(place_host_threads(threads, affinity, self.platform))
+        return host_placement_stats(threads, affinity, self.platform)
 
-    def rate_mbs(self, threads: int, affinity: str) -> float:
-        """Aggregate scan rate (MB/s) of ``threads`` host threads."""
-        stats = self.placement(threads, affinity)
-        linear = _aggregate_linear_rate(
-            stats, self.workload.host_rate_mbs * self.perf.rate_scale, self._ht_yield
-        )
-        linear *= self._locality * self._affinity_rate.get(affinity, 1.0)
-        roofline = host_scan_roofline_mbs(
+    def _roofline_array(self, stats: list[PlacementStats]) -> np.ndarray:
+        return host_scan_roofline_mbs_array(
             self.platform,
-            stats,
+            sockets_used_column(stats),
             efficiency=self.perf.scan_efficiency,
             workload_scale=self.workload.scan_efficiency_scale,
         )
-        return combine_rates(linear, roofline)
-
-    def time(self, threads: int, affinity: str, mb: float) -> float:
-        """Seconds to scan ``mb`` megabytes on the host (0 MB -> 0 s)."""
-        if mb < 0:
-            raise ValueError(f"mb must be >= 0, got {mb}")
-        if mb == 0:
-            return 0.0
-        spawn = self.perf.spawn_base_s + self.perf.spawn_per_log2_s * log2_threads(threads)
-        return spawn + mb / self.rate_mbs(threads, affinity)
 
 
-class DevicePerformanceModel:
+class DevicePerformanceModel(_SidePerformanceModel):
     """Noiseless execution-time model for the co-processor side.
 
     Device time includes the offload region's exposed cost (launch
     latency plus the non-overlapped slice of the PCIe input transfer),
     because that is what a host-side timer around ``#pragma offload``
     observes — and what the paper's device measurements contain.
+
+    Shares the columnar key-table machinery of
+    :class:`_SidePerformanceModel`; only the placement, the
+    (placement-free) roofline, and the offload-transfer composition
+    differ.
     """
+
+    _affinities = DEVICE_AFFINITIES
+    _side = "device"
 
     def __init__(
         self,
@@ -198,35 +359,25 @@ class DevicePerformanceModel:
         self._locality = device_locality_factor(workload.table_kb, platform.device)
         self._ht_yield = self.perf.ht_yield_table
         self._affinity_rate = self.perf.affinity_rates
+        self._thread_rate = workload.device_rate_mbs * self.perf.rate_scale
+        self._roofline = device_scan_roofline_mbs(
+            platform.device,
+            efficiency=self.perf.scan_efficiency,
+            workload_scale=workload.scan_efficiency_scale,
+        )
+        self._keys = {}
 
     def placement(self, threads: int, affinity: str) -> PlacementStats:
         """Placement statistics for a device configuration."""
-        return placement_stats(
-            place_device_threads(threads, affinity, self.platform.device)
-        )
+        return device_placement_stats(threads, affinity, self.platform.device)
 
-    def rate_mbs(self, threads: int, affinity: str) -> float:
-        """Aggregate scan rate (MB/s) of ``threads`` device threads."""
-        stats = self.placement(threads, affinity)
-        linear = _aggregate_linear_rate(
-            stats, self.workload.device_rate_mbs * self.perf.rate_scale, self._ht_yield
-        )
-        linear *= self._locality * self._affinity_rate.get(affinity, 1.0)
-        roofline = device_scan_roofline_mbs(
-            self.platform.device,
-            efficiency=self.perf.scan_efficiency,
-            workload_scale=self.workload.scan_efficiency_scale,
-        )
-        return combine_rates(linear, roofline)
+    def _roofline_array(self, stats: list[PlacementStats]) -> np.ndarray:
+        # The ring interconnect makes the device roofline placement-free.
+        return np.full(len(stats), self._roofline)
 
     def compute_time(self, threads: int, affinity: str, mb: float) -> float:
         """Kernel-only seconds (no offload cost); 0 MB -> 0 s."""
-        if mb < 0:
-            raise ValueError(f"mb must be >= 0, got {mb}")
-        if mb == 0:
-            return 0.0
-        spawn = self.perf.spawn_base_s + self.perf.spawn_per_log2_s * log2_threads(threads)
-        return spawn + mb / self.rate_mbs(threads, affinity)
+        return _SidePerformanceModel.time(self, threads, affinity, mb)
 
     def time(self, threads: int, affinity: str, mb: float) -> float:
         """Seconds for the full offload region covering ``mb`` megabytes."""
@@ -239,3 +390,44 @@ class DevicePerformanceModel:
             result_mb=self.workload.result_mb,
         )
         return cost.total_exposed_s + self.compute_time(threads, affinity, mb)
+
+    def compute_times_batch(self, threads, affinities, mb) -> np.ndarray:
+        """Array-native :meth:`compute_time` (kernel-only, no offload)."""
+        return _SidePerformanceModel.times_batch(self, threads, affinities, mb)
+
+    def times_batch(self, threads, affinities, mb) -> np.ndarray:
+        """Array-native :meth:`time` over whole offload-region columns.
+
+        Composes the exposed offload cost and the kernel time with the
+        exact elementwise operation order of the scalar path, so each
+        element is bit-identical to :meth:`time`.
+        """
+        threads_arr, codes, mb_arr = _side_columns(
+            threads, affinities, mb, self._affinities, self._side
+        )
+        rates, spawns = self._gather(threads_arr, codes)
+        link = self.platform.interconnect
+        overlap = self.workload.transfer_overlap
+        if not 0.0 <= overlap <= 1.0:
+            raise ValueError(f"overlap_factor must be in [0, 1], got {overlap}")
+        result_wire = transfer_time_s(self.workload.result_mb, link)
+        exposed = mb_arr / (link.effective_bandwidth_gbs * 1024.0) * (1.0 - overlap)
+        exposed = exposed + result_wire
+        total = (link.latency_s + exposed) + (spawns + mb_arr / rates)
+        return np.where(mb_arr == 0.0, 0.0, total)
+
+
+def predict_times_batch(model, threads, affinities, mb) -> np.ndarray:
+    """Array-native execution times for one side of a platform.
+
+    ``model`` is a :class:`HostPerformanceModel` or
+    :class:`DevicePerformanceModel`; ``threads``/``affinities``/``mb``
+    are equal-length configuration columns (affinities as names or as
+    integer codes in feature-encoding order).  This is the front door of
+    the vectorized analytic core: spawn costs and harmonic rate
+    composition run over NumPy arrays, with per-(threads, affinity)
+    placement and rate lookups amortized through the model's key table.
+    Every element is bit-identical to the corresponding scalar
+    ``model.time(...)`` call.
+    """
+    return model.times_batch(threads, affinities, mb)

@@ -6,36 +6,132 @@ one *experiment* and is counted, so optimization methods can report how
 much of the 19 926-experiment enumeration budget they consumed (paper
 section IV-C reports SAML needing ~5%).
 
-Noise is multiplicative log-normal, *deterministic per configuration*
-(hash-seeded): re-measuring the same configuration returns the same
-value, exactly like the paper's single-run-per-configuration protocol,
-while different configurations see independent perturbations.  The
-``none`` host affinity gets extra variance (OS placement jitter).
+Noise model (seed-per-key scheme)
+---------------------------------
+
+Noise is multiplicative and *deterministic per configuration*:
+re-measuring the same configuration returns the same value, exactly like
+the paper's single-run-per-configuration protocol, while different
+configurations see independent perturbations.  The ``none`` host
+affinity gets extra variance (OS placement jitter).
+
+Each measurement key ``(seed, side, threads, affinity, mb)`` is absorbed
+field by field through a splitmix64-style avalanche mix; four uniform
+variates squeezed from the mixed state form an Irwin-Hall(4)
+approximately-Gaussian deviate ``z`` (bounded at ±2*sqrt(3) sigma), and
+the measured time is ``model_time * max(1 + sigma * z, 0.05)`` — the
+floor keeps factors positive for exotic user-registered profiles with
+``sigma >= ~0.27`` and is unreachable for every built-in platform
+(max effective sigma 0.032 -> factors within [0.89, 1.11]).  The
+scheme is
+pure 64-bit integer mixing plus IEEE-754 basic arithmetic — no
+transcendentals, no per-key generator objects — so the scalar
+(:func:`_gaussian_scalar`) and columnar (:func:`_gaussian_batch`)
+implementations are bit-identical by construction and whole measurement
+grids vectorize through NumPy.  Regression tests pin both the scalar ==
+batch equivalence and golden draw values
+(``tests/machines/test_vectorized.py``), so the stream cannot drift
+silently.
 """
 
 from __future__ import annotations
 
-import zlib
+import struct
 from dataclasses import dataclass
 
 import numpy as np
 
+from .affinity import affinity_domain, affinity_index
 from .perfmodel import (
     DNA_SCAN,
     DevicePerformanceModel,
     HostPerformanceModel,
     WorkloadProfile,
+    _side_columns,
 )
 from .spec import EMIL, PlatformSpec
 
-#: Relative measurement noise (sigma of log-normal). The paper's
-#: prediction errors (5.2% host, 3.1% device) lower-bound how noisy the
-#: underlying measurements can be.  These are Emil's values; other
-#: platforms carry their own in ``PlatformSpec.host_perf.noise_sigma`` /
-#: ``device_perf.noise_sigma``, which the simulator reads.
+#: Relative measurement noise (sigma of the multiplicative factor). The
+#: paper's prediction errors (5.2% host, 3.1% device) lower-bound how
+#: noisy the underlying measurements can be.  These are Emil's values;
+#: other platforms carry their own in ``PlatformSpec.host_perf.noise_sigma``
+#: / ``device_perf.noise_sigma``, which the simulator reads.
 HOST_NOISE_SIGMA = 0.020
 DEVICE_NOISE_SIGMA = 0.025
 NONE_AFFINITY_NOISE_SCALE = 1.6
+
+# --- deterministic per-key noise hashing ------------------------------------
+#
+# splitmix64 finalizer constants (Steele et al.; public domain).  The
+# scalar implementation emulates 64-bit wraparound with an explicit
+# mask so it matches the NumPy uint64 implementation bit for bit.
+
+_MASK64 = 0xFFFFFFFFFFFFFFFF
+_GOLDEN = 0x9E3779B97F4A7C15
+_MIX_A = 0xBF58476D1CE4E5B9
+_MIX_B = 0x94D049BB133111EB
+#: 2**-53: maps the top 53 bits of a mixed word onto [0, 1).
+_U53 = 1.0 / 9007199254740992.0
+#: sqrt(3): standardizes the Irwin-Hall(4) sum (variance 4/12).
+_IH_SCALE = 1.7320508075688772
+#: Positivity floor of the multiplicative noise factor; see module docs.
+_FACTOR_FLOOR = 0.05
+
+_SIDE_CODES = {"host": 0, "device": 1}
+
+
+def _mix64(z: int) -> int:
+    """splitmix64 avalanche finalizer on a Python int (wrapping 64-bit)."""
+    z ^= z >> 30
+    z = (z * _MIX_A) & _MASK64
+    z ^= z >> 27
+    z = (z * _MIX_B) & _MASK64
+    return z ^ (z >> 31)
+
+
+def _mix64_array(z: np.ndarray) -> np.ndarray:
+    """splitmix64 avalanche finalizer on a uint64 array (wrapping)."""
+    z = z ^ (z >> np.uint64(30))
+    z = z * np.uint64(_MIX_A)
+    z = z ^ (z >> np.uint64(27))
+    z = z * np.uint64(_MIX_B)
+    return z ^ (z >> np.uint64(31))
+
+
+def _gaussian_scalar(seed: int, side_code: int, threads: int, aff_code: int, mb: float) -> float:
+    """One approximately-Gaussian deviate for a measurement key."""
+    mb_bits = struct.unpack("=Q", struct.pack("=d", mb))[0]
+    state = _mix64(mb_bits)
+    state = _mix64(aff_code ^ state)
+    state = _mix64(threads ^ state)
+    state = _mix64(side_code ^ state)
+    state = _mix64((seed & _MASK64) ^ state)
+    u = (_mix64((state + _GOLDEN) & _MASK64) >> 11) * _U53
+    u = u + (_mix64((state + 2 * _GOLDEN) & _MASK64) >> 11) * _U53
+    u = u + (_mix64((state + 3 * _GOLDEN) & _MASK64) >> 11) * _U53
+    u = u + (_mix64((state + 4 * _GOLDEN) & _MASK64) >> 11) * _U53
+    return (u - 2.0) * _IH_SCALE
+
+
+def _gaussian_batch(
+    seed: int,
+    side_code: int,
+    threads: np.ndarray,
+    aff_codes: np.ndarray,
+    mb: np.ndarray,
+) -> np.ndarray:
+    """Columnar twin of :func:`_gaussian_scalar` (bit-identical per key)."""
+    mb_bits = np.ascontiguousarray(mb, dtype=np.float64).view(np.uint64)
+    state = _mix64_array(mb_bits)
+    state = _mix64_array(aff_codes.astype(np.uint64) ^ state)
+    state = _mix64_array(threads.astype(np.uint64) ^ state)
+    state = _mix64_array(np.uint64(side_code) ^ state)
+    state = _mix64_array(np.uint64(seed & _MASK64) ^ state)
+    u = (_mix64_array(state + np.uint64(_GOLDEN)) >> np.uint64(11)) * _U53
+    u = u + (_mix64_array(state + np.uint64((2 * _GOLDEN) & _MASK64)) >> np.uint64(11)) * _U53
+    u = u + (_mix64_array(state + np.uint64((3 * _GOLDEN) & _MASK64)) >> np.uint64(11)) * _U53
+    u = u + (_mix64_array(state + np.uint64((4 * _GOLDEN) & _MASK64)) >> np.uint64(11)) * _U53
+    return (u - 2.0) * _IH_SCALE
 
 
 @dataclass(frozen=True)
@@ -70,6 +166,13 @@ class PlatformSimulator:
     :mod:`repro.machines.registry` / :mod:`repro.dna.workloads`) as well
     as explicit spec/profile objects, so a scenario is fully nameable:
     ``PlatformSimulator("fathost", "dense-motif")``.
+
+    Measurements come in scalar (:meth:`measure_host`) and columnar
+    (:meth:`measure_host_columns`) forms; the columnar form pushes whole
+    ``(threads, affinity, mb)`` grids through the vectorized analytic
+    core and the batched noise hash with bit-identical values and
+    experiment accounting.  The measurement log is stored in columnar
+    blocks and materialized lazily by :attr:`log`.
     """
 
     def __init__(
@@ -91,7 +194,10 @@ class PlatformSimulator:
         self.host_model = HostPerformanceModel(self.platform, self.workload)
         self.device_model = DevicePerformanceModel(self.platform, self.workload)
         self._experiments = 0
-        self._log: list[Measurement] = []
+        #: Log storage: scalar ``Measurement`` entries interleaved with
+        #: columnar blocks ``(side, threads, codes, mb, seconds)``.
+        self._blocks: list = []
+        self._noise_cache: dict[tuple, float] = {}
 
     # -- experiment accounting ------------------------------------------
 
@@ -102,24 +208,59 @@ class PlatformSimulator:
 
     @property
     def log(self) -> list[Measurement]:
-        """All measurements, in order."""
-        return list(self._log)
+        """All measurements, in order (columnar blocks materialized)."""
+        out: list[Measurement] = []
+        for block in self._blocks:
+            if isinstance(block, Measurement):
+                out.append(block)
+                continue
+            side, threads, codes, mb, seconds = block
+            domain = affinity_domain(side)
+            out.extend(
+                Measurement(side, int(t), domain[int(c)], float(m), float(s))
+                for t, c, m, s in zip(threads, codes, mb, seconds)
+            )
+        return out
 
     def reset_counter(self) -> None:
         """Zero the experiment counter and log (new optimization run)."""
         self._experiments = 0
-        self._log.clear()
+        self._blocks.clear()
 
     # -- noise -----------------------------------------------------------
+
+    def _sigma(self, side: str, affinity: str) -> float:
+        perf = self.platform.host_perf if side == "host" else self.platform.device_perf
+        return perf.noise_sigma * perf.noise_scales.get(affinity, 1.0)
 
     def _noise_factor(self, side: str, threads: int, affinity: str, mb: float) -> float:
         if not self.noise:
             return 1.0
+        key = (side, threads, affinity, mb)
+        hit = self._noise_cache.get(key)
+        if hit is None:
+            z = _gaussian_scalar(
+                self.seed,
+                _SIDE_CODES[side],
+                threads,
+                affinity_index(affinity, side),
+                mb,
+            )
+            hit = max(1.0 + self._sigma(side, affinity) * z, _FACTOR_FLOOR)
+            self._noise_cache[key] = hit
+        return hit
+
+    def _noise_factors(
+        self, side: str, threads: np.ndarray, codes: np.ndarray, mb: np.ndarray
+    ) -> np.ndarray:
+        """Columnar noise factors; bit-identical to :meth:`_noise_factor`."""
         perf = self.platform.host_perf if side == "host" else self.platform.device_perf
-        sigma = perf.noise_sigma * perf.noise_scales.get(affinity, 1.0)
-        key = f"{self.seed}|{side}|{threads}|{affinity}|{mb:.6f}".encode()
-        rng = np.random.default_rng(zlib.crc32(key))
-        return float(np.exp(rng.normal(0.0, sigma)))
+        scales = perf.noise_scales
+        domain = affinity_domain(side)
+        scale_arr = np.array([scales.get(name, 1.0) for name in domain])
+        sigma = perf.noise_sigma * scale_arr[codes]
+        z = _gaussian_batch(self.seed, _SIDE_CODES[side], threads, codes, mb)
+        return np.maximum(1.0 + sigma * z, _FACTOR_FLOOR)
 
     # -- measurements ------------------------------------------------------
 
@@ -130,10 +271,20 @@ class PlatformSimulator:
             side, threads, affinity, mb
         )
 
+    def _timed_columns(
+        self, side: str, threads: np.ndarray, codes: np.ndarray, mb: np.ndarray
+    ) -> np.ndarray:
+        """Columnar pure timing; bit-identical to per-item :meth:`_timed`."""
+        model = self.host_model if side == "host" else self.device_model
+        base = model.times_batch(threads, codes, mb)
+        if not self.noise:
+            return base
+        return base * self._noise_factors(side, threads, codes, mb)
+
     def _measure(self, side: str, threads: int, affinity: str, mb: float) -> float:
         t = self._timed(side, threads, affinity, mb)
         self._experiments += 1
-        self._log.append(Measurement(side, threads, affinity, mb, t))
+        self._blocks.append(Measurement(side, threads, affinity, mb, t))
         return t
 
     def measure_host(self, threads: int, affinity: str, mb: float) -> float:
@@ -144,6 +295,27 @@ class PlatformSimulator:
         """Timed device experiment (offload region around ``mb`` MB)."""
         return self._measure("device", threads, affinity, mb)
 
+    def _measure_columns(self, side: str, threads, affinities, mb) -> np.ndarray:
+        """Measure one side's configuration columns in one vectorized pass.
+
+        Values, experiment counts, and the (lazily materialized)
+        measurement log are identical to per-item ``measure_*`` calls.
+        """
+        domain = affinity_domain(side)
+        threads_arr, codes, mb_arr = _side_columns(threads, affinities, mb, domain, side)
+        times = self._timed_columns(side, threads_arr, codes, mb_arr)
+        self._experiments += int(threads_arr.size)
+        self._blocks.append((side, threads_arr, codes, mb_arr, times))
+        return times
+
+    def measure_host_columns(self, threads, affinities, mb) -> np.ndarray:
+        """Columnar :meth:`measure_host` over equal-length arrays."""
+        return self._measure_columns("host", threads, affinities, mb)
+
+    def measure_device_columns(self, threads, affinities, mb) -> np.ndarray:
+        """Columnar :meth:`measure_device` over equal-length arrays."""
+        return self._measure_columns("device", threads, affinities, mb)
+
     def _measure_batch(
         self, side: str, items, processes: int | None = None
     ) -> list[float]:
@@ -151,9 +323,10 @@ class PlatformSimulator:
 
         Values, experiment counts, and the measurement log are identical
         to per-item ``measure_*`` calls (noise is deterministic per
-        configuration).  With ``processes > 1`` the pure timing work
+        configuration).  Without a process pool the items go through the
+        columnar fast path; with ``processes > 1`` the pure timing work
         fans out over a process pool while accounting stays in-process —
-        useful for large training grids on multi-core machines.
+        only worthwhile for objectives whose per-call cost dwarfs IPC.
         """
         items = [(int(t), a, float(mb)) for t, a, mb in items]
         if processes is not None and processes > 1 and len(items) > 1:
@@ -167,12 +340,14 @@ class PlatformSimulator:
                 times = pool.starmap(
                     self._timed, [(side, t, a, mb) for t, a, mb in items]
                 )
-        else:
-            times = [self._timed(side, t, a, mb) for t, a, mb in items]
-        for (threads, affinity, mb), t in zip(items, times):
-            self._experiments += 1
-            self._log.append(Measurement(side, threads, affinity, mb, t))
-        return list(times)
+            for (threads, affinity, mb), t in zip(items, times):
+                self._experiments += 1
+                self._blocks.append(Measurement(side, threads, affinity, mb, t))
+            return list(times)
+        threads = np.fromiter((it[0] for it in items), dtype=np.int64, count=len(items))
+        mb_arr = np.fromiter((it[2] for it in items), dtype=np.float64, count=len(items))
+        affinities = [it[1] for it in items]
+        return self._measure_columns(side, threads, affinities, mb_arr).tolist()
 
     def measure_host_batch(self, items, *, processes: int | None = None) -> list[float]:
         """Batched :meth:`measure_host` over ``(threads, affinity, mb)`` items."""

@@ -98,6 +98,18 @@ def placement_stats(slots: Sequence[Slot]) -> PlacementStats:
     )
 
 
+def sockets_used_column(stats: Sequence[PlacementStats]):
+    """``sockets_used`` of many placements as one NumPy column.
+
+    The vectorized performance model feeds this straight into the host
+    scan-roofline array; importing numpy lazily keeps this module
+    dependency-light for the pure-topology callers.
+    """
+    import numpy as np
+
+    return np.array([s.sockets_used for s in stats], dtype=np.int64)
+
+
 def validate_placement(
     slots: Iterable[Slot], *, cpu: CPUSpec | None = None, device: PhiSpec | None = None
 ) -> None:

@@ -108,6 +108,24 @@ def encode_device_row(threads: int, affinity: str, mb: float) -> list[float]:
     return [float(threads), *_one_hot(affinity, DEVICE_AFFINITIES), float(mb)]
 
 
+def encode_side_columns(
+    threads: np.ndarray, codes: np.ndarray, mb: np.ndarray, levels: tuple[str, ...]
+) -> np.ndarray:
+    """Columnar design matrix for one side: ``[threads, one-hot, mb]``.
+
+    ``codes`` are affinity indices into ``levels`` (feature-encoding
+    order).  Bit-identical to stacking per-row ``encode_*_row`` results:
+    every entry is an exactly representable integer, 0/1 flag, or the
+    unchanged ``mb`` value.
+    """
+    n = len(threads)
+    X = np.zeros((n, 2 + len(levels)), dtype=np.float64)
+    X[:, 0] = threads
+    X[np.arange(n), 1 + np.asarray(codes, dtype=np.int64)] = 1.0
+    X[:, -1] = mb
+    return X
+
+
 def build_dataset(rows: list[list[float]], y: list[float], names: tuple[str, ...]) -> Dataset:
     """Assemble a :class:`Dataset` from encoded rows."""
     return Dataset(np.array(rows, dtype=np.float64), np.array(y, dtype=np.float64), names)

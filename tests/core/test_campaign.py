@@ -118,3 +118,43 @@ class TestTuneCampaign:
             ("emil",), method="SAM", size_mb=SIZE_MB, iterations=40, engine=None
         )
         assert res.report("emil").engine_batches == 0
+
+
+class TestEMReferenceCache:
+    def test_same_cell_reuses_the_em_walk(self):
+        from repro.core.campaign import _EM_CACHE, clear_em_cache
+
+        clear_em_cache()
+        first = tune_platform("emil", method="SAM", size_mb=SIZE_MB, iterations=ITERS)
+        assert len(_EM_CACHE) == 1
+        (cached,) = _EM_CACHE.values()
+        # A second method on the same cell reuses the cached reference
+        # instead of re-walking the space.
+        second = tune_platform("emil", method="EM", size_mb=SIZE_MB, iterations=ITERS)
+        assert len(_EM_CACHE) == 1
+        assert first.em_config == second.em_config == cached.config
+        assert first.em_time == second.em_time == cached.measured_time
+        clear_em_cache()
+
+    def test_cached_reference_matches_a_fresh_walk(self):
+        from repro.core import run_em
+        from repro.core.campaign import clear_em_cache
+        from repro.machines import PlatformSimulator
+
+        clear_em_cache()
+        report = tune_platform("fathost", method="SAM", size_mb=SIZE_MB, iterations=ITERS)
+        spec = get_platform("fathost")
+        fresh = run_em(platform_space(spec), PlatformSimulator(spec, seed=0), SIZE_MB)
+        assert report.em_config == fresh.config
+        assert report.em_time == fresh.measured_time
+        clear_em_cache()
+
+    def test_distinct_cells_get_distinct_entries(self):
+        from repro.core.campaign import _EM_CACHE, clear_em_cache
+
+        clear_em_cache()
+        tune_platform("emil", method="SAM", size_mb=SIZE_MB, iterations=ITERS)
+        tune_platform("emil", method="SAM", size_mb=2 * SIZE_MB, iterations=ITERS)
+        tune_platform("slowlink", method="SAM", size_mb=SIZE_MB, iterations=ITERS)
+        assert len(_EM_CACHE) == 3
+        clear_em_cache()
