@@ -1,0 +1,79 @@
+"""Multi-device enumeration throughput: the columnar path must stay fast.
+
+The device-count generalization keeps the vectorized analytic core as
+the fast path for N >= 2: a full EM walk of dualphi's ~3M-configuration
+2-device space costs a handful of columnar measurement grids plus a
+share-simplex reduction, never per-configuration Python.  The gate is a
+machine-portable ratio (separable over faithful walk on the same
+sub-space); the full-space throughput is recorded as context.
+"""
+
+import time
+
+from conftest import run_once
+
+from repro.core import MeasurementEvaluator, enumerate_best, enumerate_best_separable
+from repro.core.params import ParameterSpace, platform_space, share_simplex
+from repro.machines import PlatformSimulator, get_platform
+
+SIZE_MB = 1000.0
+#: Acceptance floor for the multi-device separable walk; typically
+#: lands well above 100x the faithful per-configuration walk.
+MIN_MULTIDEVICE_SPEEDUP = 10.0
+
+
+def _sub_space() -> ParameterSpace:
+    """A dualphi sub-space small enough for the faithful reference walk."""
+    space = platform_space(get_platform("dualphi"))
+    return ParameterSpace(
+        host_threads=space.host_threads[::2],
+        device_threads=space.device_grids[0][0][::2],
+        extra_device_grids=[
+            (threads[::2], affinities)
+            for threads, affinities in space.device_grids[1:]
+        ],
+        shares=share_simplex(3, 12.5),
+    )
+
+
+def test_multidevice_enum_throughput(benchmark):
+    sub = _sub_space()
+    full = platform_space(get_platform("dualphi"))
+
+    def compare():
+        t0 = time.perf_counter()
+        faithful = enumerate_best(
+            sub, MeasurementEvaluator(PlatformSimulator("dualphi", seed=0)), SIZE_MB
+        )
+        t_faithful = time.perf_counter() - t0
+        t0 = time.perf_counter()
+        separable = enumerate_best_separable(
+            sub, PlatformSimulator("dualphi", seed=0), SIZE_MB
+        )
+        t_separable = time.perf_counter() - t0
+        assert separable.best_energy.value == faithful.best_energy.value
+        t0 = time.perf_counter()
+        em = enumerate_best_separable(full, PlatformSimulator("dualphi", seed=0), SIZE_MB)
+        t_full = time.perf_counter() - t0
+        assert em.configurations == full.size()
+        return t_faithful, t_separable, t_full
+
+    t_faithful, t_separable, t_full = run_once(benchmark, compare)
+    speedup = t_faithful / t_separable
+    assert speedup >= MIN_MULTIDEVICE_SPEEDUP
+    # Ratio gates (machine-portable); absolute throughput is context.
+    benchmark.extra_info["multidevice_vectorized_speedup"] = speedup
+    benchmark.extra_info["multidevice_enum_configs_per_s"] = full.size() / t_full
+    print()
+    print(
+        f"faithful sub-space walk : {len(sub)} configs in {t_faithful:.3f}s "
+        f"({len(sub) / t_faithful:,.0f}/s)"
+    )
+    print(
+        f"separable sub-space walk: {len(sub)} configs in {t_separable:.3f}s "
+        f"({speedup:.1f}x)"
+    )
+    print(
+        f"separable full EM walk  : {full.size():,} configs in {t_full:.3f}s "
+        f"({full.size() / t_full:,.0f}/s)"
+    )

@@ -107,6 +107,16 @@ def _print_table3(platform) -> None:
     print()
 
 
+def _accelerator_summary(spec) -> str:
+    """``2x Phi 7290`` for homogeneous nodes, the card list for mixed ones."""
+    if not spec.has_device:
+        return "none"
+    cards = spec.device_specs
+    if len(set(cards)) == 1:
+        return f"{len(cards)}x{cards[0].name}"
+    return " + ".join(card.name for card in cards)
+
+
 def _print_platforms() -> None:
     from .machines.registry import all_platforms
 
@@ -115,7 +125,7 @@ def _print_platforms() -> None:
         rows.append((
             spec.name,
             f"{spec.sockets}x{spec.cpu.cores}c ({spec.host_hardware_threads} ht)",
-            f"{spec.num_devices}x{spec.device.name}" if spec.has_device else "none",
+            _accelerator_summary(spec),
             spec.interconnect.name if spec.has_device else "-",
             spec.description or "-",
         ))

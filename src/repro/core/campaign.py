@@ -89,11 +89,7 @@ def _em_reference(spec, workload, space, size_mb: float, seed: int):
     key = (
         spec,
         _resolve_workload(workload),
-        space.host_threads,
-        space.host_affinities,
-        space.device_threads,
-        space.device_affinities,
-        space.fractions,
+        space.signature(),
         float(size_mb),
         seed,
     )

@@ -1,10 +1,12 @@
 """The objective ("energy") function of the optimization (Eq. 2).
 
-``E = max(T_host, T_device)`` — the application's execution time under
-the overlapped offload model.  An :class:`Energy` bundles the scalar
-with its per-side breakdown so methods can report imbalance and so the
-ML path can predict the two sides independently (as the paper's Fig. 3
-box "Predict Thost and Tdevice; E' = max(Thost, Tdevice)" prescribes).
+``E = max(T_host, T_dev_1, ..., T_dev_k)`` — the application's execution
+time under the overlapped offload model, for a host plus any number of
+accelerators.  An :class:`Energy` bundles the scalar with its per-part
+breakdown so methods can report imbalance and so the ML path can predict
+the parts independently (as the paper's Fig. 3 box "Predict Thost and
+Tdevice; E' = max(Thost, Tdevice)" prescribes); the single-device case
+is the historical ``max(T_host, T_device)`` pair, unchanged.
 """
 
 from __future__ import annotations
@@ -17,15 +19,27 @@ from .params import SystemConfiguration
 
 @dataclass(frozen=True)
 class Energy:
-    """Objective value of one configuration."""
+    """Objective value of one configuration.
+
+    ``t_device`` is the primary accelerator (device 0); additional cards
+    of a multi-device node ride in ``t_extra``.
+    """
 
     t_host: float
     t_device: float
+    t_extra: tuple[float, ...] = ()
+
+    @property
+    def t_devices(self) -> tuple[float, ...]:
+        """Per-device times ``(device 0, ..., device N-1)``."""
+        return (self.t_device, *self.t_extra)
 
     @property
     def value(self) -> float:
-        """E = max(T_host, T_device) (Eq. 2)."""
-        return max(self.t_host, self.t_device)
+        """E = max over all overlapped parts (Eq. 2)."""
+        if not self.t_extra:
+            return max(self.t_host, self.t_device)
+        return max(self.t_host, self.t_device, *self.t_extra)
 
     def __lt__(self, other: "Energy") -> bool:
         return self.value < other.value

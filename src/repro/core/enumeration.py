@@ -22,9 +22,9 @@ from dataclasses import dataclass
 
 import numpy as np
 
-from ..machines.affinity import affinity_domain
+from ..machines.affinity import DEVICE_AFFINITIES, HOST_AFFINITIES, affinity_domain
 from .energy import ConfigurationEvaluator, Energy
-from .params import ParameterSpace, SystemConfiguration
+from .params import DeviceSlot, ParameterSpace, SystemConfiguration, part_mb_columns
 
 
 @dataclass(frozen=True)
@@ -123,6 +123,106 @@ def _side_grid_times(
     return times.reshape(n_combo, n_f)
 
 
+def _part_mb_per_share(
+    space: ParameterSpace, size_mb: float
+) -> tuple[np.ndarray, list[np.ndarray]]:
+    """Per-part megabytes for every share vector (residual-last rule).
+
+    Delegates to the shared :func:`~repro.core.params.part_mb_columns`
+    over the space's share grid, so the separable walk measures the
+    exact megabyte values a faithful per-configuration walk would.
+    """
+    shares = np.asarray(space.share_vectors, dtype=np.float64)
+    return part_mb_columns(
+        shares[:, 0], [shares[:, k] for k in range(2, shares.shape[1])], size_mb
+    )
+
+
+def _combo_columns(
+    threads: tuple, affinities: tuple, side: str, n_mb: int
+) -> tuple[np.ndarray, np.ndarray]:
+    """Combo-major ``(threads, codes)`` columns repeated per mb value."""
+    codes = np.asarray([affinity_domain(side).index(a) for a in affinities], dtype=np.int64)
+    threads_col = np.repeat(np.asarray(threads, dtype=np.int64), len(affinities) * n_mb)
+    codes_col = np.tile(np.repeat(codes, n_mb), len(threads))
+    return threads_col, codes_col
+
+
+def _part_grid_times(
+    time_grid, part: int, threads: tuple, affinities: tuple, mbs: np.ndarray
+) -> np.ndarray:
+    """One part's ``(combo, mb)`` time grid; zero-MB entries cost 0 s.
+
+    ``time_grid(part, threads_col, codes_col, mb_col)`` times positive-MB
+    entries only (``part`` is -1 for the host, else the device index),
+    exactly like the single-device fast path.
+    """
+    side = "host" if part < 0 else "device"
+    n_combo, n_mb = len(threads) * len(affinities), len(mbs)
+    threads_col, codes_col = _combo_columns(threads, affinities, side, n_mb)
+    mb_col = np.tile(mbs, n_combo)
+    times = np.zeros(n_combo * n_mb)
+    sel = mb_col > 0
+    if sel.any():
+        times[sel] = time_grid(part, threads_col[sel], codes_col[sel], mb_col[sel])
+    return times.reshape(n_combo, n_mb)
+
+
+def _enumerate_best_separable_multi(
+    space: ParameterSpace, time_grid, size_mb: float
+) -> EnumerationResult:
+    """Separable enumeration over a multi-device space.
+
+    For a fixed share vector the parts are independent, so the space
+    optimum is ``min over shares of (max over parts of the part's best
+    combo time)`` — each part's ``combos x unique-mb`` grid is timed
+    once as columns and the cross product never materializes.  Ties
+    break deterministically: per part, the earliest combo in Table I
+    order; across share vectors, the earliest vector in simplex
+    (lexicographic) order.
+    """
+    host_mb, dev_mbs = _part_mb_per_share(space, size_mb)
+    n_shares = len(space.share_vectors)
+    # Per part: unique mb values, each combo timed once per unique mb.
+    best_time = np.empty((1 + space.num_devices, n_shares))
+    best_combo: list[np.ndarray] = []
+    part_mbs = [host_mb, *dev_mbs]
+    part_grids = [(space.host_threads, space.host_affinities), *space.device_grids]
+    for p, (mbs, (threads, affinities)) in enumerate(zip(part_mbs, part_grids)):
+        uniq, inverse = np.unique(mbs, return_inverse=True)
+        grid = _part_grid_times(time_grid, p - 1, threads, affinities, uniq)
+        combo_at = np.argmin(grid, axis=0)  # first minimum per unique mb
+        best_time[p] = grid[combo_at, np.arange(len(uniq))][inverse]
+        best_combo.append(combo_at[inverse])
+    energy = best_time.max(axis=0)
+    j = int(np.argmin(energy))
+    shares = space.share_vectors[j]
+
+    def combo(part: int) -> tuple[int, str]:
+        threads, affinities = part_grids[part]
+        c = int(best_combo[part][j])
+        return threads[c // len(affinities)], affinities[c % len(affinities)]
+
+    host_threads, host_affinity = combo(0)
+    slots = [combo(1 + k) for k in range(space.num_devices)]
+    best_config = SystemConfiguration(
+        host_threads=host_threads,
+        host_affinity=host_affinity,
+        device_threads=slots[0][0],
+        device_affinity=slots[0][1],
+        host_fraction=shares[0],
+        extra_devices=tuple(
+            DeviceSlot(t, a, s) for (t, a), s in zip(slots[1:], shares[2:])
+        ),
+    )
+    best_energy = Energy(
+        float(best_time[0, j]),
+        float(best_time[1, j]),
+        tuple(float(best_time[2 + k, j]) for k in range(space.num_devices - 1)),
+    )
+    return EnumerationResult(best_config, best_energy, space.size())
+
+
 def enumerate_best_separable(
     space: ParameterSpace,
     sim,
@@ -139,7 +239,20 @@ def enumerate_best_separable(
     ``max``/``argmin`` — no per-configuration Python at all.  Ties break
     toward the earlier configuration in Table I order (C-order argmin),
     matching the historical comparison loop exactly.
+
+    Multi-device spaces route through the per-part separable walk: one
+    columnar measurement grid per part (every device keeps its own
+    model and noise stream) composed as ``E = max`` over parts, with
+    the deterministic tie-breaks documented on
+    :func:`_enumerate_best_separable_multi`.
     """
+    if space.num_devices > 1:
+        def measured(part: int, threads, codes, mb):
+            if part < 0:
+                return sim.measure_host_columns(threads, codes, mb)
+            return sim.measure_device_columns(threads, codes, mb, device=part)
+
+        return _enumerate_best_separable_multi(space, measured, size_mb)
     fractions = np.asarray(space.fractions, dtype=np.float64)
     host_mb = size_mb * fractions / 100.0
     device_mb = size_mb - host_mb
@@ -161,3 +274,28 @@ def enumerate_best_separable(
     )
     best_energy = Energy(float(th[h, f]), float(td[d, f]))
     return EnumerationResult(best_config, best_energy, space.size())
+
+
+def enumerate_best_separable_ml(
+    space: ParameterSpace,
+    ml,
+    size_mb: float,
+) -> EnumerationResult:
+    """Separable EML walk for multi-device spaces (predictions, no cost).
+
+    The ML objective is separable exactly like the measured one (each
+    part's predicted time depends only on its own columns), so the full
+    multi-device product space never needs one prediction per
+    configuration: each part's ``combos x unique-mb`` grid goes through
+    the vectorized ensemble predictor once.  Tie-breaks follow
+    :func:`_enumerate_best_separable_multi`.
+    """
+    if space.num_devices == 1:
+        raise ValueError("single-device spaces use enumerate_best on the ML evaluator")
+
+    def predicted(part: int, threads, codes, mb):
+        domain = HOST_AFFINITIES if part < 0 else DEVICE_AFFINITIES
+        side = "host" if part < 0 else "device"
+        return ml.predict_part(side, threads, [domain[int(c)] for c in codes], mb)
+
+    return _enumerate_best_separable_multi(space, predicted, size_mb)

@@ -33,12 +33,18 @@ def _cache_key(config: SystemConfiguration, size_mb: float) -> tuple:
         config.device_threads,
         config.device_affinity,
         config.host_fraction,
+        config.extra_devices,
         size_mb,
     )
 
 
 class MeasurementEvaluator:
-    """Score configurations by timed execution on the platform."""
+    """Score configurations by timed execution on the platform.
+
+    Handles any device count: each part (host, device 0, ..., device
+    N-1) is measured on its own substrate stream and the energy is the
+    max over all overlapped parts.
+    """
 
     def __init__(self, sim: PlatformSimulator) -> None:
         self.sim = sim
@@ -56,21 +62,19 @@ class MeasurementEvaluator:
         hit = self._cache.get(key)
         if hit is not None:
             return hit
-        host_mb = size_mb * config.host_fraction / 100.0
-        device_mb = size_mb - host_mb
+        host_mb, device_mbs = config.part_megabytes(size_mb)
         t_host = (
             self.sim.measure_host(config.host_threads, config.host_affinity, host_mb)
             if host_mb > 0
             else 0.0
         )
-        t_device = (
-            self.sim.measure_device(
-                config.device_threads, config.device_affinity, device_mb
-            )
-            if device_mb > 0
+        t_devices = [
+            self.sim.measure_device(slot.threads, slot.affinity, mb, device=k)
+            if mb > 0
             else 0.0
-        )
-        energy = Energy(t_host, t_device)
+            for k, (slot, mb) in enumerate(zip(config.device_slots, device_mbs))
+        ]
+        energy = Energy(t_host, t_devices[0], tuple(t_devices[1:]))
         self._cache[key] = energy
         self._evaluations += 1
         return energy
@@ -81,12 +85,13 @@ class MeasurementEvaluator:
         """Measure a batch of configurations (each counted/cached as usual).
 
         Uncached configurations are columnarized and pushed through the
-        simulator's vectorized analytic core in two calls (one per
-        side) instead of two Python-level measurements each.  Values,
-        per-config energies, experiment counts, and cache semantics are
-        identical to per-config :meth:`evaluate` calls; within a batch
-        the measurement log groups host experiments before device
-        experiments (the multiset of measurements is unchanged).
+        simulator's vectorized analytic core in one call per part (host
+        plus each device) instead of per-config Python measurements.
+        Values, per-config energies, experiment counts, and cache
+        semantics are identical to per-config :meth:`evaluate` calls;
+        within a batch the measurement log groups host experiments
+        first, then each device's (the multiset of measurements is
+        unchanged).
         """
         configs = list(configs)
         if len(configs) <= 1:
@@ -102,22 +107,29 @@ class MeasurementEvaluator:
                 miss_pos.append(i)
         if miss_pos:
             table = ConfigTable.from_configs([configs[i] for i in miss_pos])
-            host_mb = table.host_mb(size_mb)
-            device_mb = table.device_mb(size_mb)
+            host_mb, device_mbs = table.part_mb(size_mb)
             t_host = np.zeros(len(table))
-            t_device = np.zeros(len(table))
             hsel = host_mb > 0
             if hsel.any():
                 t_host[hsel] = self.sim.measure_host_columns(
                     table.host_threads[hsel], table.host_codes[hsel], host_mb[hsel]
                 )
-            dsel = device_mb > 0
-            if dsel.any():
-                t_device[dsel] = self.sim.measure_device_columns(
-                    table.device_threads[dsel], table.device_codes[dsel], device_mb[dsel]
-                )
+            t_parts = []
+            for k, mb in enumerate(device_mbs):
+                threads, codes = table.device_columns(k)
+                t_dev = np.zeros(len(table))
+                dsel = mb > 0
+                if dsel.any():
+                    t_dev[dsel] = self.sim.measure_device_columns(
+                        threads[dsel], codes[dsel], mb[dsel], device=k
+                    )
+                t_parts.append(t_dev)
             for j, i in enumerate(miss_pos):
-                self._cache[keys[i]] = Energy(float(t_host[j]), float(t_device[j]))
+                self._cache[keys[i]] = Energy(
+                    float(t_host[j]),
+                    float(t_parts[0][j]),
+                    tuple(float(t[j]) for t in t_parts[1:]),
+                )
             self._evaluations += len(miss_pos)
         return [self._cache[key] for key in keys]
 
@@ -180,10 +192,15 @@ class MLEvaluator:
         return value
 
     def evaluate(self, config: SystemConfiguration, size_mb: float) -> Energy:
-        """Predict E' = max(predicted T_host, predicted T_device)."""
+        """Predict E' = max over the predicted per-part times.
+
+        On multi-device configurations every card is predicted with the
+        (primary-card) device model — exact for homogeneous nodes, an
+        explicit approximation for mixed-card ones (per-card predictors
+        would need per-card training grids).
+        """
         self._evaluations += 1
-        host_mb = size_mb * config.host_fraction / 100.0
-        device_mb = size_mb - host_mb
+        host_mb, device_mbs = config.part_megabytes(size_mb)
         t_host = (
             self._predict(
                 self.host_model,
@@ -193,18 +210,17 @@ class MLEvaluator:
             if host_mb > 0
             else 0.0
         )
-        t_device = (
+        t_devices = [
             self._predict(
                 self.device_model,
                 self.device_scaler,
-                encode_device_row(
-                    config.device_threads, config.device_affinity, device_mb
-                ),
+                encode_device_row(slot.threads, slot.affinity, mb),
             )
-            if device_mb > 0
+            if mb > 0
             else 0.0
-        )
-        return Energy(t_host, t_device)
+            for slot, mb in zip(config.device_slots, device_mbs)
+        ]
+        return Energy(t_host, t_devices[0], tuple(t_devices[1:]))
 
     def _predict_many(
         self,
@@ -240,6 +256,23 @@ class MLEvaluator:
                 values[j] = value
         return values  # type: ignore[return-value]
 
+    def predict_part(self, side: str, threads, affinities, mb) -> np.ndarray:
+        """Predicted times for one part's configuration columns.
+
+        ``side`` selects the host or device predictor; every device of a
+        multi-device node shares the device predictor (see
+        :meth:`evaluate`).  Values go through the same side cache and
+        non-negativity clamp as the scalar path.
+        """
+        if side == "host":
+            model, scaler, encode = self.host_model, self.host_scaler, encode_host_row
+        else:
+            model, scaler, encode = self.device_model, self.device_scaler, encode_device_row
+        rows = [
+            encode(int(t), a, float(m)) for t, a, m in zip(threads, affinities, mb)
+        ]
+        return np.asarray(self._predict_many(model, scaler, rows))
+
     def evaluate_batch(
         self, configs: Sequence[SystemConfiguration], size_mb: float
     ) -> list[Energy]:
@@ -253,39 +286,41 @@ class MLEvaluator:
         configs = list(configs)
         self._evaluations += len(configs)
         n = len(configs)
+        num_devices = configs[0].num_devices if configs else 1
         t_host = [0.0] * n
-        t_device = [0.0] * n
+        t_parts = [[0.0] * n for _ in range(num_devices)]
         host_pos: list[int] = []
         host_rows: list[list[float]] = []
-        device_pos: list[int] = []
+        device_pos: list[tuple[int, int]] = []
         device_rows: list[list[float]] = []
         for i, config in enumerate(configs):
-            host_mb = size_mb * config.host_fraction / 100.0
-            device_mb = size_mb - host_mb
+            host_mb, device_mbs = config.part_megabytes(size_mb)
             if host_mb > 0:
                 host_pos.append(i)
                 host_rows.append(
                     encode_host_row(config.host_threads, config.host_affinity, host_mb)
                 )
-            if device_mb > 0:
-                device_pos.append(i)
-                device_rows.append(
-                    encode_device_row(
-                        config.device_threads, config.device_affinity, device_mb
+            for k, (slot, mb) in enumerate(zip(config.device_slots, device_mbs)):
+                if mb > 0:
+                    device_pos.append((k, i))
+                    device_rows.append(
+                        encode_device_row(slot.threads, slot.affinity, mb)
                     )
-                )
         if host_rows:
             for i, value in zip(
                 host_pos, self._predict_many(self.host_model, self.host_scaler, host_rows)
             ):
                 t_host[i] = value
         if device_rows:
-            for i, value in zip(
+            for (k, i), value in zip(
                 device_pos,
                 self._predict_many(self.device_model, self.device_scaler, device_rows),
             ):
-                t_device[i] = value
-        return [Energy(th, td) for th, td in zip(t_host, t_device)]
+                t_parts[k][i] = value
+        return [
+            Energy(t_host[i], t_parts[0][i], tuple(t[i] for t in t_parts[1:]))
+            for i in range(n)
+        ]
 
 
 class EnergyObjective:

@@ -19,7 +19,11 @@ from ..machines.simulator import PlatformSimulator
 from .annealing import AnnealingResult, SimulatedAnnealing
 from .energy import Energy
 from .engine import EvaluationEngine
-from .enumeration import enumerate_best, enumerate_best_separable
+from .enumeration import (
+    enumerate_best,
+    enumerate_best_separable,
+    enumerate_best_separable_ml,
+)
 from .evaluators import EnergyObjective, MeasurementEvaluator, MLEvaluator
 from .params import ParameterSpace, SystemConfiguration
 
@@ -127,9 +131,14 @@ def run_eml(
 
     Consumes zero search-time experiments (plus one final measurement of
     the suggested configuration for reporting).  A batched ``engine``
-    vectorizes the 19 926-prediction walk.
+    vectorizes the 19 926-prediction walk.  Multi-device spaces route
+    through the separable ML walk (their product spaces are far too
+    large for a per-configuration walk; the engine is not consulted).
     """
-    res = enumerate_best(space, ml, size_mb, engine=engine)
+    if space.num_devices > 1:
+        res = enumerate_best_separable_ml(space, ml, size_mb)
+    else:
+        res = enumerate_best(space, ml, size_mb, engine=engine)
     measured = _measure_config(sim, res.best_config, size_mb)
     return MethodResult(
         method="EML",

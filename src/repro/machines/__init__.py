@@ -27,7 +27,11 @@ from .registry import (
     DUALPHI,
     FATHOST,
     MANYCORE,
+    MIXEDPHI,
+    PHI_5110P,
+    PHI_5110P_PERF,
     PLATFORMS,
+    QUADPHI,
     SLOWLINK,
     all_platforms,
     get_platform,
@@ -84,7 +88,11 @@ __all__ = [
     "DUALPHI",
     "FATHOST",
     "MANYCORE",
+    "MIXEDPHI",
+    "PHI_5110P",
+    "PHI_5110P_PERF",
     "PLATFORMS",
+    "QUADPHI",
     "SLOWLINK",
     "all_platforms",
     "get_platform",

@@ -342,7 +342,11 @@ class DevicePerformanceModel(_SidePerformanceModel):
     Shares the columnar key-table machinery of
     :class:`_SidePerformanceModel`; only the placement, the
     (placement-free) roofline, and the offload-transfer composition
-    differ.
+    differ.  ``device`` selects which card of a multi-accelerator node
+    the model times (cards may differ in spec and calibration, see
+    :attr:`~repro.machines.spec.PlatformSpec.devices`); the default 0 is
+    the primary card and reproduces the historical single-device model
+    bit for bit.
     """
 
     _affinities = DEVICE_AFFINITIES
@@ -352,16 +356,20 @@ class DevicePerformanceModel(_SidePerformanceModel):
         self,
         platform: PlatformSpec = EMIL,
         workload: WorkloadProfile = DNA_SCAN,
+        *,
+        device: int = 0,
     ) -> None:
         self.platform = platform
         self.workload = workload
-        self.perf = platform.device_perf
-        self._locality = device_locality_factor(workload.table_kb, platform.device)
+        self.device_index = device
+        self.device_spec = platform.device_spec_for(device)
+        self.perf = platform.device_perf_for(device)
+        self._locality = device_locality_factor(workload.table_kb, self.device_spec)
         self._ht_yield = self.perf.ht_yield_table
         self._affinity_rate = self.perf.affinity_rates
         self._thread_rate = workload.device_rate_mbs * self.perf.rate_scale
         self._roofline = device_scan_roofline_mbs(
-            platform.device,
+            self.device_spec,
             efficiency=self.perf.scan_efficiency,
             workload_scale=workload.scan_efficiency_scale,
         )
@@ -369,7 +377,7 @@ class DevicePerformanceModel(_SidePerformanceModel):
 
     def placement(self, threads: int, affinity: str) -> PlacementStats:
         """Placement statistics for a device configuration."""
-        return device_placement_stats(threads, affinity, self.platform.device)
+        return device_placement_stats(threads, affinity, self.device_spec)
 
     def _roofline_array(self, stats: list[PlacementStats]) -> np.ndarray:
         # The ring interconnect makes the device roofline placement-free.

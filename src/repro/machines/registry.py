@@ -19,13 +19,21 @@ Built-in fleet
     splits dominate.
 ``dualphi``
     A dual-accelerator node: Emil's host with two newer, faster Phis on
-    PCIe 3.0.  Device-heavy splits become attractive.
+    PCIe 3.0.  Tunes as a true 2-device platform — its configuration
+    space carries both cards' thread/affinity grids and a 3-part share
+    simplex.
 ``manycore``
     A many-core host with **no** accelerator (two 64-core sockets); the
     space collapses to host-only configurations.
 ``slowlink``
     Emil degraded by a shared PCIe riser (1.5 GB/s, 80 ms launch):
     offloading must pay for itself against a hostile interconnect.
+``quadphi``
+    An accelerator farm: Emil's host feeding four 5110P cards — the
+    N=3+ regime of paper section II-A, with a 5-part share simplex.
+``mixedphi``
+    A heterogeneous node: one 7120P (primary) plus one weaker 5110P
+    with its own calibration; per-device grids differ.
 
 ``register_platform`` accepts additional specs at runtime (tests use it
 for throwaway platforms); registration is idempotent per key.
@@ -145,11 +153,11 @@ FATHOST = PlatformSpec(
 
 #: Dual-accelerator node: Emil's host feeding two Phi 7290s over PCIe 3.0.
 #: Newer device cores run at x1.25 with a slightly better SMT curve.
-#: The host/device tuning path models the *primary* card (its grids use
-#: one card's 284 threads); the second card only matters to the
-#: multi-accelerator runtime in :mod:`repro.runtime.multidevice`, so
-#: what makes this platform's campaign rows differ from Emil's is the
-#: faster device and link, not the card count.
+#: The whole tuning stack treats it as a genuine 2-device platform:
+#: both cards appear in the configuration space (per-card thread and
+#: affinity grids, 3-part share simplex), each card keeps its own
+#: performance model and noise stream, and ``E = max`` runs over host +
+#: both cards.
 DUALPHI = PlatformSpec(
     name="DualPhi",
     cpu=EMIL.cpu,
@@ -235,6 +243,70 @@ SLOWLINK = PlatformSpec(
     description="Emil with a degraded interconnect (1.5 GB/s, 80 ms launch)",
 )
 
+#: The Xeon Phi 5110P: the passively cooled 60-core sibling of the
+#: 7120P — fewer cores, lower clocks, narrower memory.  Used by the
+#: multi-card platforms below.
+PHI_5110P = PhiSpec(
+    name="Intel Xeon Phi 5110P",
+    cores=60,
+    os_reserved_cores=1,
+    threads_per_core=4,
+    base_freq_ghz=1.053,
+    turbo_freq_ghz=1.053,
+    l1_kb=32,
+    l2_mb=30.0,
+    simd_bits=512,
+    mem_bandwidth_gbs=320.0,
+    memory_gb=8.0,
+)
+
+#: The 5110P's calibration: slower scalar core (x0.85 of the paper's
+#: 7120P rate), same SMT shape, slightly lower scan ceiling.
+PHI_5110P_PERF = PerfProfile(
+    rate_scale=0.85,
+    ht_yield=(1.0, 1.55, 1.95, 2.3),
+    spawn_base_s=0.011,
+    spawn_per_log2_s=0.003,
+    affinity_rate=(("balanced", 1.0), ("scatter", 0.98), ("compact", 1.02)),
+    scan_efficiency=0.0205,
+    noise_sigma=0.026,
+)
+
+#: Accelerator farm: Emil's host feeding four 5110P cards — the N=3+
+#: regime of paper section II-A.  The share axis becomes a 5-part
+#: simplex (12.5 % steps); keeping all four cards busy without starving
+#: the host is the whole tuning problem here.
+QUADPHI = PlatformSpec(
+    name="QuadPhi",
+    cpu=EMIL.cpu,
+    sockets=2,
+    device=PHI_5110P,
+    num_devices=4,
+    interconnect=PCIeSpec(
+        name="PCIe 2.0 x16 (switched)", effective_bandwidth_gbs=5.0, latency_s=0.035
+    ),
+    host_perf=EMIL.host_perf,
+    device_perf=PHI_5110P_PERF,
+    description="Emil's host with four Xeon Phi 5110P cards (accelerator farm)",
+)
+
+#: Heterogeneous node: the paper's 7120P as the primary card plus a
+#: weaker 5110P, each with its own spec and calibration — mixed-card
+#: nodes are exactly what per-device grids and models exist for.
+MIXEDPHI = PlatformSpec(
+    name="MixedPhi",
+    cpu=EMIL.cpu,
+    sockets=2,
+    device=EMIL.device,
+    num_devices=2,
+    interconnect=EMIL.interconnect,
+    host_perf=EMIL.host_perf,
+    device_perf=EMIL.device_perf,
+    devices=(EMIL.device, PHI_5110P),
+    device_perfs=(EMIL.device_perf, PHI_5110P_PERF),
+    description="Emil's 7120P plus a weaker 5110P (heterogeneous cards)",
+)
+
 #: Default registry key (the paper's platform).
 DEFAULT_PLATFORM_KEY = "emil"
 
@@ -243,3 +315,5 @@ register_platform(FATHOST)
 register_platform(DUALPHI)
 register_platform(MANYCORE)
 register_platform(SLOWLINK)
+register_platform(QUADPHI)
+register_platform(MIXEDPHI)

@@ -16,7 +16,11 @@ configurations see independent perturbations.  The ``none`` host
 affinity gets extra variance (OS placement jitter).
 
 Each measurement key ``(seed, side, threads, affinity, mb)`` is absorbed
-field by field through a splitmix64-style avalanche mix; four uniform
+field by field through a splitmix64-style avalanche mix (on
+multi-accelerator nodes the side code of device ``k`` is ``1 + k``, so
+every card owns an independent noise stream while device 0 — and hence
+every single-device platform — keeps the historical stream bit for
+bit); four uniform
 variates squeezed from the mixed state form an Irwin-Hall(4)
 approximately-Gaussian deviate ``z`` (bounded at ±2*sqrt(3) sigma), and
 the measured time is ``model_time * max(1 + sigma * z, 0.05)`` — the
@@ -77,7 +81,15 @@ _IH_SCALE = 1.7320508075688772
 #: Positivity floor of the multiplicative noise factor; see module docs.
 _FACTOR_FLOOR = 0.05
 
-_SIDE_CODES = {"host": 0, "device": 1}
+def _side_code(side: str, device: int) -> int:
+    """Noise-stream code: host -> 0, device ``k`` -> ``1 + k``.
+
+    Device 0's code is the historical ``device`` code (1), so
+    single-device noise streams are unchanged.
+    """
+    if side == "host":
+        return 0
+    return 1 + device
 
 
 def _mix64(z: int) -> int:
@@ -143,6 +155,7 @@ class Measurement:
     affinity: str
     mb: float
     seconds: float
+    device: int = 0  # which accelerator (device-side experiments)
 
 
 def _resolve_workload(workload) -> WorkloadProfile:
@@ -192,12 +205,24 @@ class PlatformSimulator:
         self.noise = noise
         self.seed = seed
         self.host_model = HostPerformanceModel(self.platform, self.workload)
-        self.device_model = DevicePerformanceModel(self.platform, self.workload)
+        #: One model per installed accelerator (cards may differ); a
+        #: deviceless platform keeps a primary-card model around so the
+        #: degenerate space's (never-measured) device side stays wired.
+        self.device_models = tuple(
+            DevicePerformanceModel(self.platform, self.workload, device=k)
+            for k in range(max(1, platform.num_devices))
+        )
+        self.device_model = self.device_models[0]
         self._experiments = 0
         #: Log storage: scalar ``Measurement`` entries interleaved with
-        #: columnar blocks ``(side, threads, codes, mb, seconds)``.
+        #: columnar blocks ``(side, device, threads, codes, mb, seconds)``.
         self._blocks: list = []
         self._noise_cache: dict[tuple, float] = {}
+
+    @property
+    def num_devices(self) -> int:
+        """Accelerators this substrate can measure (the platform's count)."""
+        return self.platform.num_devices
 
     # -- experiment accounting ------------------------------------------
 
@@ -214,10 +239,10 @@ class PlatformSimulator:
             if isinstance(block, Measurement):
                 out.append(block)
                 continue
-            side, threads, codes, mb, seconds = block
+            side, device, threads, codes, mb, seconds = block
             domain = affinity_domain(side)
             out.extend(
-                Measurement(side, int(t), domain[int(c)], float(m), float(s))
+                Measurement(side, int(t), domain[int(c)], float(m), float(s), device)
                 for t, c, m, s in zip(threads, codes, mb, seconds)
             )
         return out
@@ -229,73 +254,99 @@ class PlatformSimulator:
 
     # -- noise -----------------------------------------------------------
 
-    def _sigma(self, side: str, affinity: str) -> float:
-        perf = self.platform.host_perf if side == "host" else self.platform.device_perf
+    def _perf(self, side: str, device: int):
+        if side == "host":
+            return self.platform.host_perf
+        return self.platform.device_perf_for(device)
+
+    def _sigma(self, side: str, affinity: str, device: int = 0) -> float:
+        perf = self._perf(side, device)
         return perf.noise_sigma * perf.noise_scales.get(affinity, 1.0)
 
-    def _noise_factor(self, side: str, threads: int, affinity: str, mb: float) -> float:
+    def _noise_factor(
+        self, side: str, threads: int, affinity: str, mb: float, device: int = 0
+    ) -> float:
         if not self.noise:
             return 1.0
-        key = (side, threads, affinity, mb)
+        key = (side, device, threads, affinity, mb)
         hit = self._noise_cache.get(key)
         if hit is None:
             z = _gaussian_scalar(
                 self.seed,
-                _SIDE_CODES[side],
+                _side_code(side, device),
                 threads,
                 affinity_index(affinity, side),
                 mb,
             )
-            hit = max(1.0 + self._sigma(side, affinity) * z, _FACTOR_FLOOR)
+            hit = max(1.0 + self._sigma(side, affinity, device) * z, _FACTOR_FLOOR)
             self._noise_cache[key] = hit
         return hit
 
     def _noise_factors(
-        self, side: str, threads: np.ndarray, codes: np.ndarray, mb: np.ndarray
+        self,
+        side: str,
+        threads: np.ndarray,
+        codes: np.ndarray,
+        mb: np.ndarray,
+        device: int = 0,
     ) -> np.ndarray:
         """Columnar noise factors; bit-identical to :meth:`_noise_factor`."""
-        perf = self.platform.host_perf if side == "host" else self.platform.device_perf
+        perf = self._perf(side, device)
         scales = perf.noise_scales
         domain = affinity_domain(side)
         scale_arr = np.array([scales.get(name, 1.0) for name in domain])
         sigma = perf.noise_sigma * scale_arr[codes]
-        z = _gaussian_batch(self.seed, _SIDE_CODES[side], threads, codes, mb)
+        z = _gaussian_batch(self.seed, _side_code(side, device), threads, codes, mb)
         return np.maximum(1.0 + sigma * z, _FACTOR_FLOOR)
 
     # -- measurements ------------------------------------------------------
 
-    def _timed(self, side: str, threads: int, affinity: str, mb: float) -> float:
+    def _model(self, side: str, device: int):
+        return self.host_model if side == "host" else self.device_models[device]
+
+    def _timed(
+        self, side: str, threads: int, affinity: str, mb: float, device: int = 0
+    ) -> float:
         """Pure timing (model + noise), no experiment accounting."""
-        model = self.host_model if side == "host" else self.device_model
-        return model.time(threads, affinity, mb) * self._noise_factor(
-            side, threads, affinity, mb
+        return self._model(side, device).time(threads, affinity, mb) * self._noise_factor(
+            side, threads, affinity, mb, device
         )
 
     def _timed_columns(
-        self, side: str, threads: np.ndarray, codes: np.ndarray, mb: np.ndarray
+        self,
+        side: str,
+        threads: np.ndarray,
+        codes: np.ndarray,
+        mb: np.ndarray,
+        device: int = 0,
     ) -> np.ndarray:
         """Columnar pure timing; bit-identical to per-item :meth:`_timed`."""
-        model = self.host_model if side == "host" else self.device_model
-        base = model.times_batch(threads, codes, mb)
+        base = self._model(side, device).times_batch(threads, codes, mb)
         if not self.noise:
             return base
-        return base * self._noise_factors(side, threads, codes, mb)
+        return base * self._noise_factors(side, threads, codes, mb, device)
 
-    def _measure(self, side: str, threads: int, affinity: str, mb: float) -> float:
-        t = self._timed(side, threads, affinity, mb)
+    def _measure(
+        self, side: str, threads: int, affinity: str, mb: float, device: int = 0
+    ) -> float:
+        t = self._timed(side, threads, affinity, mb, device)
         self._experiments += 1
-        self._blocks.append(Measurement(side, threads, affinity, mb, t))
+        self._blocks.append(Measurement(side, threads, affinity, mb, t, device))
         return t
 
     def measure_host(self, threads: int, affinity: str, mb: float) -> float:
         """Timed host experiment: scan ``mb`` MB with the given configuration."""
         return self._measure("host", threads, affinity, mb)
 
-    def measure_device(self, threads: int, affinity: str, mb: float) -> float:
-        """Timed device experiment (offload region around ``mb`` MB)."""
-        return self._measure("device", threads, affinity, mb)
+    def measure_device(
+        self, threads: int, affinity: str, mb: float, *, device: int = 0
+    ) -> float:
+        """Timed experiment on accelerator ``device`` (offload region)."""
+        return self._measure("device", threads, affinity, mb, device)
 
-    def _measure_columns(self, side: str, threads, affinities, mb) -> np.ndarray:
+    def _measure_columns(
+        self, side: str, threads, affinities, mb, device: int = 0
+    ) -> np.ndarray:
         """Measure one side's configuration columns in one vectorized pass.
 
         Values, experiment counts, and the (lazily materialized)
@@ -303,21 +354,23 @@ class PlatformSimulator:
         """
         domain = affinity_domain(side)
         threads_arr, codes, mb_arr = _side_columns(threads, affinities, mb, domain, side)
-        times = self._timed_columns(side, threads_arr, codes, mb_arr)
+        times = self._timed_columns(side, threads_arr, codes, mb_arr, device)
         self._experiments += int(threads_arr.size)
-        self._blocks.append((side, threads_arr, codes, mb_arr, times))
+        self._blocks.append((side, device, threads_arr, codes, mb_arr, times))
         return times
 
     def measure_host_columns(self, threads, affinities, mb) -> np.ndarray:
         """Columnar :meth:`measure_host` over equal-length arrays."""
         return self._measure_columns("host", threads, affinities, mb)
 
-    def measure_device_columns(self, threads, affinities, mb) -> np.ndarray:
+    def measure_device_columns(
+        self, threads, affinities, mb, *, device: int = 0
+    ) -> np.ndarray:
         """Columnar :meth:`measure_device` over equal-length arrays."""
-        return self._measure_columns("device", threads, affinities, mb)
+        return self._measure_columns("device", threads, affinities, mb, device)
 
     def _measure_batch(
-        self, side: str, items, processes: int | None = None
+        self, side: str, items, processes: int | None = None, device: int = 0
     ) -> list[float]:
         """Measure many ``(threads, affinity, mb)`` items on one side.
 
@@ -338,29 +391,33 @@ class PlatformSimulator:
                 context = multiprocessing.get_context("spawn")
             with context.Pool(processes) as pool:
                 times = pool.starmap(
-                    self._timed, [(side, t, a, mb) for t, a, mb in items]
+                    self._timed, [(side, t, a, mb, device) for t, a, mb in items]
                 )
             for (threads, affinity, mb), t in zip(items, times):
                 self._experiments += 1
-                self._blocks.append(Measurement(side, threads, affinity, mb, t))
+                self._blocks.append(Measurement(side, threads, affinity, mb, t, device))
             return list(times)
         threads = np.fromiter((it[0] for it in items), dtype=np.int64, count=len(items))
         mb_arr = np.fromiter((it[2] for it in items), dtype=np.float64, count=len(items))
         affinities = [it[1] for it in items]
-        return self._measure_columns(side, threads, affinities, mb_arr).tolist()
+        return self._measure_columns(side, threads, affinities, mb_arr, device).tolist()
 
     def measure_host_batch(self, items, *, processes: int | None = None) -> list[float]:
         """Batched :meth:`measure_host` over ``(threads, affinity, mb)`` items."""
         return self._measure_batch("host", items, processes)
 
-    def measure_device_batch(self, items, *, processes: int | None = None) -> list[float]:
+    def measure_device_batch(
+        self, items, *, processes: int | None = None, device: int = 0
+    ) -> list[float]:
         """Batched :meth:`measure_device` over ``(threads, affinity, mb)`` items."""
-        return self._measure_batch("device", items, processes)
+        return self._measure_batch("device", items, processes, device)
 
     def true_host_time(self, threads: int, affinity: str, mb: float) -> float:
         """Noiseless host time; not counted as an experiment (oracle access)."""
         return self.host_model.time(threads, affinity, mb)
 
-    def true_device_time(self, threads: int, affinity: str, mb: float) -> float:
+    def true_device_time(
+        self, threads: int, affinity: str, mb: float, *, device: int = 0
+    ) -> float:
         """Noiseless device time; not counted as an experiment (oracle access)."""
-        return self.device_model.time(threads, affinity, mb)
+        return self.device_models[device].time(threads, affinity, mb)

@@ -227,11 +227,16 @@ class PCIeSpec:
 
 @dataclass(frozen=True)
 class PlatformSpec:
-    """A heterogeneous node: ``sockets`` x CPU + ``num_devices`` x Phi.
+    """A heterogeneous node: ``sockets`` x CPU + ``num_devices`` accelerators.
 
     The paper's platform (host name *Emil*) has two sockets and one
     co-processor; section II-A notes such platforms may carry one to
-    eight accelerators, which :mod:`repro.runtime.multidevice` exploits.
+    eight accelerators.  ``device``/``device_perf`` describe the
+    *primary* card (device 0); by default every card is a copy of it.
+    Heterogeneous nodes (e.g. mixed 7120P/5110P) list every card
+    explicitly in ``devices`` (and optionally per-card calibrations in
+    ``device_perfs``); ``devices[0]`` must equal ``device`` so the
+    primary-card view stays unambiguous.
     """
 
     name: str = "Emil"
@@ -243,6 +248,8 @@ class PlatformSpec:
     host_perf: PerfProfile = DEFAULT_HOST_PERF
     device_perf: PerfProfile = DEFAULT_DEVICE_PERF
     description: str = ""
+    devices: tuple[PhiSpec, ...] = ()
+    device_perfs: tuple[PerfProfile, ...] = ()
 
     @property
     def host_cores(self) -> int:
@@ -265,8 +272,35 @@ class PlatformSpec:
         return self.num_devices > 0
 
     @property
+    def device_specs(self) -> tuple[PhiSpec, ...]:
+        """One spec per installed accelerator (empty without a device).
+
+        Homogeneous nodes replicate the primary ``device``; nodes with
+        an explicit ``devices`` tuple return it verbatim.
+        """
+        if self.devices:
+            return self.devices
+        return tuple(self.device for _ in range(self.num_devices))
+
+    def device_perf_for(self, index: int) -> PerfProfile:
+        """Device ``index``'s calibration (the primary's by default)."""
+        if self.device_perfs:
+            return self.device_perfs[index]
+        return self.device_perf
+
+    def device_spec_for(self, index: int) -> PhiSpec:
+        """Device ``index``'s hardware spec.
+
+        Index 0 resolves even on deviceless platforms (the perf model
+        keeps a primary-card model around for degenerate spaces).
+        """
+        if index == 0:
+            return self.device
+        return self.device_specs[index]
+
+    @property
     def max_device_threads(self) -> int:
-        """Application threads one accelerator card offers (0 if none)."""
+        """Application threads the primary accelerator offers (0 if none)."""
         return self.device.usable_hardware_threads if self.has_device else 0
 
     def require_device(self, what: str) -> None:
@@ -279,18 +313,36 @@ class PlatformSpec:
             raise ValueError(f"platform {self.name!r} has no accelerator; {what}")
 
     def with_devices(self, num_devices: int) -> "PlatformSpec":
-        """Return a copy of this platform with a different accelerator count."""
+        """Return a copy with ``num_devices`` copies of the primary card."""
         if not 1 <= num_devices <= 8:
             raise ValueError(
                 f"num_devices must be in [1, 8] (paper section II-A), got {num_devices}"
             )
-        return replace(self, num_devices=num_devices)
+        return replace(self, num_devices=num_devices, devices=(), device_perfs=())
 
     def __post_init__(self) -> None:
         if self.sockets <= 0:
             raise ValueError(f"sockets must be positive, got {self.sockets}")
         if self.num_devices < 0:
             raise ValueError(f"num_devices must be >= 0, got {self.num_devices}")
+        if self.devices:
+            if len(self.devices) != self.num_devices:
+                raise ValueError(
+                    f"devices lists {len(self.devices)} cards, "
+                    f"num_devices says {self.num_devices}"
+                )
+            if self.devices[0] != self.device:
+                raise ValueError("devices[0] must equal the primary `device` spec")
+        if self.device_perfs:
+            if len(self.device_perfs) != self.num_devices:
+                raise ValueError(
+                    f"device_perfs lists {len(self.device_perfs)} calibrations, "
+                    f"num_devices says {self.num_devices}"
+                )
+            if self.device_perfs[0] != self.device_perf:
+                raise ValueError(
+                    "device_perfs[0] must equal the primary `device_perf` profile"
+                )
 
 
 #: The paper's experimentation platform (Table III).

@@ -1,6 +1,8 @@
 """Work-distribution runtime: divisible partitioning, the overlapped
-offload execution model (Eq. 2), static/adaptive schedules, and the
-multi-accelerator extension.
+offload execution model (Eq. 2, host + N devices), and static/adaptive
+schedules.  Multi-accelerator configurations live in the core
+abstraction now; :mod:`repro.runtime.multidevice` re-exports them for
+compatibility.
 """
 
 from .multidevice import (
@@ -9,7 +11,7 @@ from .multidevice import (
     MultiDeviceOutcome,
     MultiDeviceRuntime,
 )
-from .offload import ExecutionOutcome, run_configuration
+from .offload import ExecutionOutcome, resolve_simulator, run_configuration
 from .partition import Partition, contiguous_spans, split_elements, split_shares
 from .qilin import LinearTimeModel, QilinPartitioner, fit_linear_time
 from .schedule import AdaptiveRebalancer, RebalanceStep, StaticSchedule
@@ -24,6 +26,7 @@ __all__ = [
     "MultiDeviceOutcome",
     "MultiDeviceRuntime",
     "ExecutionOutcome",
+    "resolve_simulator",
     "run_configuration",
     "Partition",
     "contiguous_spans",

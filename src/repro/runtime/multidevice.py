@@ -1,43 +1,45 @@
-"""Multi-accelerator extension: 1-8 co-processors per node.
+"""Multi-accelerator extension — retired into the core abstraction.
 
-Paper section II-A: "Such platforms may consist of one or two CPUs on
-the host ... and one to eight accelerators".  The evaluation uses one
-Phi; this module generalizes the offload model so a configuration
-carries one (threads, affinity, share) triple per device and
-
-``E = max(T_host, T_dev_1, ..., T_dev_k)``
-
-with every device timed by its own performance model instance (devices
-may differ, e.g. mixed 7120P/5110P nodes).
+Multi-device configurations are first-class citizens of the tuning
+stack now: :class:`~repro.core.params.SystemConfiguration` carries one
+``(threads, affinity, share)`` triple per device,
+:class:`~repro.machines.simulator.PlatformSimulator` measures every card
+with its own model and noise stream, and the perf model composes
+``E = max(T_host, T_dev_1, ..., T_dev_k)``.  This module remains as a
+thin compatibility layer: :class:`DeviceAssignment` *is* the core
+:class:`~repro.core.params.DeviceSlot`, :class:`MultiDeviceConfiguration`
+is a view that converts to/from the core configuration type, and
+:class:`MultiDeviceRuntime` delegates every measurement to a
+:class:`~repro.machines.simulator.PlatformSimulator` — the private
+perf-model wiring this module used to carry (which drifted from
+:mod:`repro.machines.perfmodel`) is gone.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
 
-from ..machines.perfmodel import DNA_SCAN, DevicePerformanceModel, WorkloadProfile
+from ..core.params import DeviceSlot, SystemConfiguration
+from ..machines.perfmodel import DNA_SCAN, WorkloadProfile
 from ..machines.simulator import PlatformSimulator
 from ..machines.spec import EMIL, PhiSpec, PlatformSpec
+from .offload import ExecutionOutcome, run_configuration
 
+#: The per-device configuration triple is the core type, re-exported.
+DeviceAssignment = DeviceSlot
 
-@dataclass(frozen=True)
-class DeviceAssignment:
-    """Configuration of one accelerator: threads, affinity, percent share."""
-
-    threads: int
-    affinity: str
-    share: float  # percent of the total workload
-
-    def __post_init__(self) -> None:
-        if self.threads <= 0:
-            raise ValueError(f"threads must be positive, got {self.threads}")
-        if not 0.0 <= self.share <= 100.0:
-            raise ValueError(f"share must be in [0, 100], got {self.share}")
+#: Tolerance matching :data:`repro.core.params.SHARE_SUM_TOL`.
+_SUM_TOL = 1e-6
 
 
 @dataclass(frozen=True)
 class MultiDeviceConfiguration:
-    """Host configuration plus per-device assignments; shares sum to 100."""
+    """Host configuration plus per-device assignments; shares sum to 100.
+
+    A compatibility view over the core representation: ``devices`` lists
+    *every* card (the core type treats device 0's share as the residual).
+    Use :meth:`to_config` / :meth:`from_config` to cross over.
+    """
 
     host_threads: int
     host_affinity: str
@@ -45,11 +47,35 @@ class MultiDeviceConfiguration:
     devices: tuple[DeviceAssignment, ...]
 
     def __post_init__(self) -> None:
+        if not self.devices:
+            raise ValueError("at least one device is required")
         total = self.host_share + sum(d.share for d in self.devices)
-        if abs(total - 100.0) > 1e-9:
+        if abs(total - 100.0) > _SUM_TOL:
             raise ValueError(f"shares must sum to 100, got {total}")
         if not 0.0 <= self.host_share <= 100.0:
             raise ValueError(f"host_share must be in [0, 100], got {self.host_share}")
+
+    def to_config(self) -> SystemConfiguration:
+        """The equivalent core :class:`SystemConfiguration`."""
+        primary = self.devices[0]
+        return SystemConfiguration(
+            host_threads=self.host_threads,
+            host_affinity=self.host_affinity,
+            device_threads=primary.threads,
+            device_affinity=primary.affinity,
+            host_fraction=self.host_share,
+            extra_devices=tuple(self.devices[1:]),
+        )
+
+    @classmethod
+    def from_config(cls, config: SystemConfiguration) -> "MultiDeviceConfiguration":
+        """View a core configuration as an explicit-share tuple."""
+        return cls(
+            host_threads=config.host_threads,
+            host_affinity=config.host_affinity,
+            host_share=config.host_fraction,
+            devices=config.device_slots,
+        )
 
 
 @dataclass(frozen=True)
@@ -64,13 +90,21 @@ class MultiDeviceOutcome:
         """Overall wall-clock (all parts overlap)."""
         return max(self.t_host, *self.t_devices) if self.t_devices else self.t_host
 
+    @classmethod
+    def from_outcome(cls, outcome: ExecutionOutcome) -> "MultiDeviceOutcome":
+        """Convert a core :class:`~repro.runtime.offload.ExecutionOutcome`."""
+        return cls(outcome.t_host, outcome.t_devices)
+
 
 class MultiDeviceRuntime:
-    """Offload runtime over a platform with ``num_devices`` accelerators.
+    """Offload runtime over a platform with several accelerators.
 
-    Reuses the host side of a :class:`PlatformSimulator` and builds one
-    device model per accelerator (identical cards share one model but
-    keep distinct noise streams via the device index in the seed).
+    A thin delegate: builds one
+    :class:`~repro.machines.simulator.PlatformSimulator` (which owns one
+    performance model and noise stream per card) and routes every run
+    through the shared :func:`~repro.runtime.offload.run_configuration`
+    path.  ``device_specs`` may override the platform's cards, e.g. for
+    ad-hoc mixed 7120P/5110P nodes.
     """
 
     def __init__(
@@ -82,64 +116,62 @@ class MultiDeviceRuntime:
         noise: bool = True,
         seed: int = 0,
     ) -> None:
-        if device_specs is None:
-            device_specs = tuple(platform.device for _ in range(platform.num_devices))
-        if not device_specs:
-            raise ValueError("at least one device is required")
+        if device_specs is not None:
+            if not device_specs:
+                raise ValueError("at least one device is required")
+            device_specs = tuple(device_specs)
+            if device_specs != platform.device_specs:
+                # Ad-hoc card list: keep the platform's per-card
+                # calibrations only when the cards themselves are
+                # unchanged in count (otherwise they cannot line up;
+                # every card then uses the primary calibration).
+                perfs = (
+                    platform.device_perfs
+                    if len(platform.device_perfs) == len(device_specs)
+                    else ()
+                )
+                platform = PlatformSpec(
+                    name=platform.name,
+                    cpu=platform.cpu,
+                    sockets=platform.sockets,
+                    device=device_specs[0],
+                    num_devices=len(device_specs),
+                    interconnect=platform.interconnect,
+                    host_perf=platform.host_perf,
+                    device_perf=platform.device_perf,
+                    devices=device_specs,
+                    device_perfs=perfs,
+                )
+        platform.require_device("the multi-device runtime drives accelerators")
         self.platform = platform
-        self.device_specs = device_specs
-        self._sims = [
-            PlatformSimulator(
-                platform.with_devices(max(1, platform.num_devices)),
-                workload,
-                noise=noise,
-                seed=seed + 1000 * i,
-            )
-            for i in range(len(device_specs))
-        ]
-        # Per-device models (device specs may differ from the platform default).
-        self._device_models = []
-        for i, spec in enumerate(device_specs):
-            p = PlatformSpec(
-                name=f"{platform.name}/dev{i}",
-                cpu=platform.cpu,
-                sockets=platform.sockets,
-                device=spec,
-                num_devices=1,
-                interconnect=platform.interconnect,
-            )
-            self._device_models.append(DevicePerformanceModel(p, workload))
-        self._host_sim = self._sims[0]
+        self.sim = PlatformSimulator(platform, workload, noise=noise, seed=seed)
+
+    @property
+    def device_specs(self) -> tuple[PhiSpec, ...]:
+        """The cards this runtime manages."""
+        return self.platform.device_specs
 
     @property
     def num_devices(self) -> int:
         """Number of accelerators managed by this runtime."""
-        return len(self.device_specs)
+        return self.platform.num_devices
 
-    def run(self, config: MultiDeviceConfiguration, size_mb: float) -> MultiDeviceOutcome:
-        """Execute one multi-device configuration (noisy measurement)."""
-        if len(config.devices) != self.num_devices:
+    def run(self, config, size_mb: float) -> MultiDeviceOutcome:
+        """Execute one multi-device configuration (noisy measurement).
+
+        Accepts a :class:`MultiDeviceConfiguration` or a core
+        :class:`~repro.core.params.SystemConfiguration`.
+        """
+        if isinstance(config, MultiDeviceConfiguration):
+            config = config.to_config()
+        if config.num_devices != self.num_devices:
             raise ValueError(
-                f"configuration has {len(config.devices)} devices, "
+                f"configuration has {config.num_devices} devices, "
                 f"runtime manages {self.num_devices}"
             )
-        host_mb = size_mb * config.host_share / 100.0
-        t_host = (
-            self._host_sim.measure_host(config.host_threads, config.host_affinity, host_mb)
-            if host_mb > 0
-            else 0.0
+        return MultiDeviceOutcome.from_outcome(
+            run_configuration(self.sim, config, size_mb)
         )
-        t_devs = []
-        for i, (assign, sim) in enumerate(zip(config.devices, self._sims)):
-            dev_mb = size_mb * assign.share / 100.0
-            if dev_mb <= 0:
-                t_devs.append(0.0)
-                continue
-            # Route the measurement through sim i so each card has an
-            # independent noise stream and experiment counter.
-            sim.device_model = self._device_models[i]
-            t_devs.append(sim.measure_device(assign.threads, assign.affinity, dev_mb))
-        return MultiDeviceOutcome(t_host, tuple(t_devs))
 
     def proportional_shares(
         self,
@@ -152,10 +184,12 @@ class MultiDeviceRuntime:
         """Heuristic initial configuration: shares proportional to each
         part's standalone throughput on the full workload (a common
         static heuristic, cf. CoreTsar's linear model)."""
-        host_t = self._host_sim.true_host_time(host_threads, host_affinity, size_mb)
+        host_t = self.sim.true_host_time(host_threads, host_affinity, size_mb)
         rates = [size_mb / host_t if host_t > 0 else 0.0]
-        for model in self._device_models:
-            t = model.time(device_threads, device_affinity, size_mb)
+        for k in range(self.num_devices):
+            t = self.sim.true_device_time(
+                device_threads, device_affinity, size_mb, device=k
+            )
             rates.append(size_mb / t if t > 0 else 0.0)
         total = sum(rates)
         shares = [100.0 * r / total for r in rates]

@@ -6,9 +6,11 @@ on the host CPUs", so the application's wall-clock time is
 
 ``E = max(T_host, T_device)``                                  (Eq. 2)
 
-:class:`OffloadRun` evaluates one system configuration against a
+— generalized to ``max(T_host, T_dev_1, ..., T_dev_k)`` on nodes with
+several accelerators.  :func:`run_configuration` evaluates one system
+configuration against a
 :class:`~repro.machines.simulator.PlatformSimulator` and records the
-per-side times; it is the bridge between the optimizer's abstract
+per-part times; it is the bridge between the optimizer's abstract
 configurations and the measurement substrate.
 """
 
@@ -18,7 +20,6 @@ from dataclasses import dataclass
 from typing import TYPE_CHECKING
 
 from ..machines.simulator import PlatformSimulator
-from .partition import Partition
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard for type checkers
     from ..core.params import SystemConfiguration
@@ -26,26 +27,50 @@ if TYPE_CHECKING:  # pragma: no cover - import cycle guard for type checkers
 
 @dataclass(frozen=True)
 class ExecutionOutcome:
-    """Wall-clock outcome of running one configuration."""
+    """Wall-clock outcome of running one configuration.
+
+    ``t_device`` is the primary accelerator; additional cards of a
+    multi-device configuration ride in ``t_extra``.
+    """
 
     t_host: float
     t_device: float
+    t_extra: tuple[float, ...] = ()
+
+    @property
+    def t_devices(self) -> tuple[float, ...]:
+        """Per-device times ``(device 0, ..., device N-1)``."""
+        return (self.t_device, *self.t_extra)
 
     @property
     def total(self) -> float:
-        """Application execution time under host/device overlap (Eq. 2)."""
-        return max(self.t_host, self.t_device)
+        """Application execution time under overlapped parts (Eq. 2)."""
+        if not self.t_extra:
+            return max(self.t_host, self.t_device)
+        return max(self.t_host, self.t_device, *self.t_extra)
 
     @property
     def imbalance(self) -> float:
-        """|T_host - T_device| / total; 0 means perfectly balanced."""
+        """(slowest - fastest part) / total; 0 means perfectly balanced.
+
+        For the host+1-device case this is the historical
+        ``|T_host - T_device| / total``.
+        """
         if self.total == 0.0:
             return 0.0
-        return abs(self.t_host - self.t_device) / self.total
+        parts = (self.t_host, *self.t_devices)
+        return (max(parts) - min(parts)) / self.total
+
+
+def resolve_simulator(sim) -> PlatformSimulator:
+    """Accept a simulator or a registered platform name."""
+    if isinstance(sim, PlatformSimulator):
+        return sim
+    return PlatformSimulator(sim)
 
 
 def run_configuration(
-    sim: PlatformSimulator,
+    sim: "PlatformSimulator | str",
     config: "SystemConfiguration",
     size_mb: float,
     *,
@@ -53,34 +78,38 @@ def run_configuration(
 ) -> ExecutionOutcome:
     """Execute (measure) one configuration on the simulator.
 
-    A zero-share side contributes zero seconds and is not launched at
-    all, exactly like a real offload runtime skipping an empty region.
-    ``noiseless=True`` uses oracle times (no experiment accounting) —
-    used for reporting "true" qualities, never by the optimizers.
+    ``sim`` accepts a registered platform name as well as a built
+    simulator, so runtime policies resolve substrates through the
+    registry like every other layer.  A zero-share part contributes
+    zero seconds and is not launched at all, exactly like a real
+    offload runtime skipping an empty region.  ``noiseless=True`` uses
+    oracle times (no experiment accounting) — used for reporting "true"
+    qualities, never by the optimizers.
     """
-    part = Partition(size_mb, config.host_fraction)
+    sim = resolve_simulator(sim)
+    host_mb, device_mbs = config.part_megabytes(size_mb)
     if noiseless:
         th = (
-            sim.true_host_time(config.host_threads, config.host_affinity, part.host_mb)
-            if part.host_mb > 0
+            sim.true_host_time(config.host_threads, config.host_affinity, host_mb)
+            if host_mb > 0
             else 0.0
         )
-        td = (
-            sim.true_device_time(
-                config.device_threads, config.device_affinity, part.device_mb
-            )
-            if part.device_mb > 0
+        tds = [
+            sim.true_device_time(slot.threads, slot.affinity, mb, device=k)
+            if mb > 0
             else 0.0
-        )
-        return ExecutionOutcome(th, td)
+            for k, (slot, mb) in enumerate(zip(config.device_slots, device_mbs))
+        ]
+        return ExecutionOutcome(th, tds[0], tuple(tds[1:]))
     th = (
-        sim.measure_host(config.host_threads, config.host_affinity, part.host_mb)
-        if part.host_mb > 0
+        sim.measure_host(config.host_threads, config.host_affinity, host_mb)
+        if host_mb > 0
         else 0.0
     )
-    td = (
-        sim.measure_device(config.device_threads, config.device_affinity, part.device_mb)
-        if part.device_mb > 0
+    tds = [
+        sim.measure_device(slot.threads, slot.affinity, mb, device=k)
+        if mb > 0
         else 0.0
-    )
-    return ExecutionOutcome(th, td)
+        for k, (slot, mb) in enumerate(zip(config.device_slots, device_mbs))
+    ]
+    return ExecutionOutcome(th, tds[0], tuple(tds[1:]))

@@ -20,6 +20,7 @@ import numpy as np
 
 from ..machines.simulator import PlatformSimulator
 from ..core.params import SystemConfiguration
+from .offload import resolve_simulator
 
 
 @dataclass(frozen=True)
@@ -79,17 +80,25 @@ class QilinPartitioner:
         self.device_model: LinearTimeModel | None = None
         self.profiling_experiments = 0
 
-    def profile(self, sim: PlatformSimulator, size_mb: float) -> None:
-        """Run the profiling sweep on both devices (the offline stage)."""
+    def profile(self, sim: "PlatformSimulator | str", size_mb: float) -> None:
+        """Run the profiling sweep on both devices (the offline stage).
+
+        ``sim`` accepts a registered platform name as well as a built
+        simulator; each side's sweep goes through the simulator's
+        batched measurement path (the PR 4 columnar fast path) instead
+        of one Python-level measurement per profiling size.
+        """
+        sim = resolve_simulator(sim)
         sizes = np.array([f * size_mb for f in self.profile_fractions])
         host_times = np.array(
-            [sim.measure_host(self.host_threads, self.host_affinity, s) for s in sizes]
+            sim.measure_host_batch(
+                [(self.host_threads, self.host_affinity, s) for s in sizes]
+            )
         )
         device_times = np.array(
-            [
-                sim.measure_device(self.device_threads, self.device_affinity, s)
-                for s in sizes
-            ]
+            sim.measure_device_batch(
+                [(self.device_threads, self.device_affinity, s) for s in sizes]
+            )
         )
         self.profiling_experiments = 2 * len(sizes)
         self.host_model = fit_linear_time(sizes, host_times)

@@ -14,7 +14,7 @@ from dataclasses import dataclass, field
 from typing import TYPE_CHECKING
 
 from ..machines.simulator import PlatformSimulator
-from .offload import ExecutionOutcome, run_configuration
+from .offload import ExecutionOutcome, resolve_simulator, run_configuration
 
 if TYPE_CHECKING:  # pragma: no cover
     from ..core.params import SystemConfiguration
@@ -26,8 +26,12 @@ class StaticSchedule:
 
     config: "SystemConfiguration"
 
-    def execute(self, sim: PlatformSimulator, size_mb: float) -> ExecutionOutcome:
-        """Run the workload once under this schedule."""
+    def execute(self, sim: "PlatformSimulator | str", size_mb: float) -> ExecutionOutcome:
+        """Run the workload once under this schedule.
+
+        ``sim`` accepts a registered platform name as well as a built
+        simulator (resolved through the registry path).
+        """
         return run_configuration(sim, self.config, size_mb)
 
 
@@ -68,8 +72,13 @@ class AdaptiveRebalancer:
             raise ValueError("need 0 <= min_fraction < max_fraction <= 100")
 
     def propose_next(self, f: float, outcome: ExecutionOutcome) -> float:
-        """Balanced-share update given one observed round."""
-        th, td = outcome.t_host, outcome.t_device
+        """Balanced-share update given one observed round.
+
+        On multi-device outcomes the "device side" is the slowest card
+        (the one that gates Eq. 2); for N=1 this is the historical
+        host/device update unchanged.
+        """
+        th, td = outcome.t_host, max(outcome.t_devices)
         if th <= 0.0:  # all work on device; claw some back for the host
             target = min(10.0, self.max_fraction)
         elif td <= 0.0:  # all work on host
@@ -83,19 +92,37 @@ class AdaptiveRebalancer:
 
     def run(
         self,
-        sim: PlatformSimulator,
+        sim: "PlatformSimulator | str",
         config: "SystemConfiguration",
         size_mb: float,
     ) -> "SystemConfiguration":
         """Adapt the fraction over ``rounds`` timed runs; returns the
-        configuration with the final fraction."""
+        configuration with the final fraction.
+
+        ``sim`` accepts a registered platform name as well as a built
+        simulator; it is resolved once so every adaptive round hits the
+        same substrate (and its columnar measurement log).
+
+        On multi-device configurations only the host/primary-card
+        boundary moves (extra-device shares are fixed at run time), so
+        the host fraction is additionally capped at ``100 - sum(extra
+        shares)`` — the most the host and primary card have between
+        them.
+        """
         self.history.clear()
+        sim = resolve_simulator(sim)
+        ceiling = min(
+            self.max_fraction,
+            100.0 - sum(slot.share for slot in config.extra_devices),
+        )
         current = config
-        f = config.host_fraction
+        f = min(config.host_fraction, ceiling)
+        if f != config.host_fraction:
+            current = config.with_fraction(f)
         for _ in range(self.rounds):
             outcome = run_configuration(sim, current, size_mb)
             self.history.append(RebalanceStep(f, outcome))
-            f = self.propose_next(f, outcome)
+            f = min(self.propose_next(f, outcome), ceiling)
             current = current.with_fraction(f)
         return current
 

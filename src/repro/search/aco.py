@@ -66,23 +66,39 @@ class AntColony(BudgetedSearch):
         self.elite_fraction = elite_fraction
 
     def _axes(self) -> list[tuple]:
-        s = self.space
-        return [
-            s.host_threads,
-            s.host_affinities,
-            s.device_threads,
-            s.device_affinities,
-            s.fractions,
-        ]
+        """One pheromone axis per parameter, in the generic axis order.
 
-    @staticmethod
-    def _build(choice: list[int], axes: list[tuple]) -> SystemConfiguration:
-        return SystemConfiguration(
-            host_threads=axes[0][choice[0]],
-            host_affinity=axes[1][choice[1]],
-            device_threads=axes[2][choice[2]],
-            device_affinity=axes[3][choice[3]],
-            host_fraction=axes[4][choice[4]],
+        Single-device spaces keep the historical five axes (fractions
+        last); multi-device spaces carry one threads/affinity axis per
+        device and the share-simplex grid as the final axis.
+        """
+        s = self.space
+        if s.num_devices == 1:
+            return [
+                s.host_threads,
+                s.host_affinities,
+                s.device_threads,
+                s.device_affinities,
+                s.fractions,
+            ]
+        axes: list[tuple] = [s.host_threads, s.host_affinities]
+        for threads, affinities in s.device_grids:
+            axes.append(threads)
+            axes.append(affinities)
+        axes.append(s.share_vectors)
+        return axes
+
+    def _build(self, choice: list[int], axes: list[tuple]) -> SystemConfiguration:
+        if self.space.num_devices == 1:
+            return SystemConfiguration(
+                host_threads=axes[0][choice[0]],
+                host_affinity=axes[1][choice[1]],
+                device_threads=axes[2][choice[2]],
+                device_affinity=axes[3][choice[3]],
+                host_fraction=axes[4][choice[4]],
+            )
+        return self.space.build_config(
+            tuple(axis[i] for axis, i in zip(axes, choice))
         )
 
     def run(self, objective: Objective, budget: int) -> SearchResult:

@@ -9,7 +9,7 @@ from __future__ import annotations
 
 import numpy as np
 
-from ..core.params import ParameterSpace, SystemConfiguration
+from ..core.params import DeviceSlot, ParameterSpace, SystemConfiguration
 from .base import (
     BudgetedSearch,
     BudgetExhausted,
@@ -23,14 +23,35 @@ from .base import (
 def crossover(
     a: SystemConfiguration, b: SystemConfiguration, rng: np.random.Generator
 ) -> SystemConfiguration:
-    """Uniform crossover: each parameter inherited from a random parent."""
-    pick = rng.random(5) < 0.5
+    """Uniform crossover: each parameter inherited from a random parent.
+
+    The parameter axes are the generic representation's: host threads,
+    host affinity, each device's threads and affinity, and the workload
+    split last.  The split axis is inherited as one gene — the whole
+    share vector comes from a single parent, so offspring shares always
+    sum to 100.  For single-device configurations this is the historical
+    5-gene crossover with identical draws.
+    """
+    n_extra = len(a.extra_devices)
+    if len(b.extra_devices) != n_extra:
+        raise ValueError("crossover parents must drive the same number of devices")
+    pick = rng.random(5 + 2 * n_extra) < 0.5
+    share_parent = a if pick[4 + 2 * n_extra] else b
+    extra = tuple(
+        DeviceSlot(
+            (a if pick[4 + 2 * k] else b).extra_devices[k].threads,
+            (a if pick[5 + 2 * k] else b).extra_devices[k].affinity,
+            share_parent.extra_devices[k].share,
+        )
+        for k in range(n_extra)
+    )
     return SystemConfiguration(
         host_threads=a.host_threads if pick[0] else b.host_threads,
         host_affinity=a.host_affinity if pick[1] else b.host_affinity,
         device_threads=a.device_threads if pick[2] else b.device_threads,
         device_affinity=a.device_affinity if pick[3] else b.device_affinity,
-        host_fraction=a.host_fraction if pick[4] else b.host_fraction,
+        host_fraction=share_parent.host_fraction,
+        extra_devices=extra,
     )
 
 

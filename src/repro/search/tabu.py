@@ -28,6 +28,7 @@ def _key(c: SystemConfiguration) -> tuple:
         c.device_threads,
         c.device_affinity,
         c.host_fraction,
+        c.extra_devices,
     )
 
 

@@ -86,6 +86,22 @@ class TestRuntime:
             times.append(rt.run(cfg, 3170.0).total)
         assert times[0] > times[1] > times[2]
 
+    def test_identity_device_specs_override_keeps_per_card_calibrations(self):
+        # Passing the platform's own card list must not change timing:
+        # per-card PerfProfiles survive the override (regression: the
+        # heterogeneous card used to fall back to the primary's
+        # calibration).
+        from repro.machines import MIXEDPHI
+
+        plain = MultiDeviceRuntime(MIXEDPHI, noise=False)
+        overridden = MultiDeviceRuntime(
+            MIXEDPHI, device_specs=MIXEDPHI.device_specs, noise=False
+        )
+        for k in range(MIXEDPHI.num_devices):
+            assert plain.sim.true_device_time(236, "balanced", 500.0, device=k) == (
+                overridden.sim.true_device_time(236, "balanced", 500.0, device=k)
+            )
+
     def test_proportional_beats_naive_equal_split(self):
         rt = MultiDeviceRuntime(EMIL.with_devices(2), seed=0)
         prop = rt.proportional_shares(48, "scatter", 240, "balanced", 3170.0)

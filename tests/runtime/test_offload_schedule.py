@@ -85,6 +85,28 @@ class TestAdaptiveRebalancer:
         reb.run(sim, config(50.0), 1000.0)
         assert len(reb.history) == 4
 
+    def test_multi_device_config_respects_fixed_extra_shares(self):
+        # The host fraction may only eat into the primary card's share:
+        # extra-device shares are fixed at run time, so every adaptive
+        # round must keep host + extras <= 100 (regression: this used
+        # to raise "shares must sum to 100").
+        from repro.core.params import DeviceSlot
+
+        start = SystemConfiguration(
+            48, "scatter", 240, "balanced", 10.0,
+            (DeviceSlot(240, "balanced", 70.0),),
+        )
+        rb = AdaptiveRebalancer(rounds=4)
+        final = rb.run(PlatformSimulator("dualphi", seed=0), start, 1000.0)
+        assert final.host_fraction <= 30.0
+        assert final.extra_devices[0].share == 70.0
+        assert len(rb.history) == 4
+
+    def test_sim_resolves_by_platform_name(self):
+        rb = AdaptiveRebalancer(rounds=2)
+        final = rb.run("emil", config(10.0), 500.0)
+        assert 0.0 <= final.host_fraction <= 100.0
+
     def test_best_observed_before_run_raises(self):
         with pytest.raises(RuntimeError):
             AdaptiveRebalancer().best_observed

@@ -77,6 +77,57 @@ class TestSplitShares:
         assert all(p >= 0 for p in parts)
 
 
+class TestSplitSharesEdgeCases:
+    """N-way splits under degenerate and adversarial share vectors."""
+
+    def test_zero_and_full_share_endpoints(self):
+        # 0%/100% endpoints: the idle parts get exactly nothing.
+        assert split_shares(1000, [0.0, 100.0, 0.0]) == [0, 1000, 0]
+        assert split_shares(1000, [100.0]) == [1000]
+        assert split_shares(0, [30.0, 70.0]) == [0, 0]
+
+    def test_adversarial_fractions_conserve_every_element(self):
+        # Shares engineered so every part has fractional remainder ~0.5
+        # (the worst case for naive rounding, which would create or
+        # destroy elements).
+        parts = split_shares(7, [1.0] * 14)
+        assert sum(parts) == 7
+        assert sorted(parts) == [0] * 7 + [1] * 7
+
+    def test_tiny_share_never_steals_work(self):
+        # A dust-sized share must not round a whole element away from
+        # the dominant parts unless the remainder assignment demands it.
+        parts = split_shares(10, [1e-9, 50.0, 50.0])
+        assert sum(parts) == 10
+        assert parts[0] == 0
+
+    def test_share_simplex_vectors_split_exactly(self):
+        # Every grid share vector of the multi-device tuner maps n
+        # elements onto parts without losing or duplicating work.
+        from repro.core.params import share_simplex
+
+        for vec in share_simplex(4, 12.5):
+            parts = split_shares(1001, list(vec))
+            assert sum(parts) == 1001
+            assert all(p >= 0 for p in parts)
+            for share, part in zip(vec, parts):
+                if share == 0.0:
+                    assert part == 0
+
+    @given(
+        n=st.integers(0, 10_000),
+        shares=st.lists(
+            st.floats(0, 100, allow_nan=False), min_size=1, max_size=9
+        ).filter(lambda s: sum(s) > 0),
+    )
+    @settings(max_examples=150, deadline=None)
+    def test_property_no_work_lost_or_duplicated(self, n, shares):
+        parts = split_shares(n, shares)
+        assert sum(parts) == n
+        assert len(parts) == len(shares)
+        assert all(p >= 0 for p in parts)
+
+
 class TestContiguousSpans:
     def test_spans_cover_range(self):
         spans = contiguous_spans(10, [3, 3, 4])
