@@ -10,6 +10,10 @@ tables mirroring the paper's figures and tables.
 suggested system configuration; ``--engine``/``--batch-size`` select
 the evaluation backend (serial / cached / batched — see
 :mod:`repro.core.engine`) for it and for the fig9/table studies.
+``--shards``/``--refine`` control multi-device enumeration: sharded
+share-simplex walks (optionally pooled via ``--processes``) and
+coarse-to-fine share-step refinement (see
+:mod:`repro.core.enumeration`).
 
 ``--platform`` selects a registered platform (default: the paper's
 ``emil``) and ``--workload`` a registered workload (default: the
@@ -247,6 +251,9 @@ def _run_tune(platform, workload, args, engine) -> int:
             iterations=args.iterations,
             seed=args.seed,
             engine=engine,
+            shards=args.shards,
+            refine=args.refine,
+            processes=args.processes,
         )
     except ValueError as exc:
         print(f"error: {exc}", file=sys.stderr)
@@ -297,6 +304,8 @@ def _run_campaign(workload, args) -> int:
             workload=workload,
             engine=args.engine if args.engine is not None else "cached+batched",
             batch_size=args.batch_size,
+            shards=args.shards,
+            refine=args.refine,
             processes=args.processes,
         )
     except ValueError as exc:
@@ -340,6 +349,8 @@ def _run_matrix(args) -> int:
             seed=args.seed,
             engine=args.engine if args.engine is not None else "cached+batched",
             batch_size=args.batch_size,
+            shards=args.shards,
+            refine=args.refine,
             processes=args.processes,
         )
     except ValueError as exc:
@@ -427,7 +438,19 @@ def main(argv: list[str] | None = None) -> int:
     )
     parser.add_argument(
         "--processes", type=int, default=None,
-        help="fan `campaign`/`matrix` cells out over this many worker processes",
+        help="fan `campaign`/`matrix` cells (or `tune` enumeration shards) "
+        "out over this many worker processes",
+    )
+    parser.add_argument(
+        "--shards", type=int, default=1,
+        help="split multi-device enumeration (EM/EML) into this many "
+        "share-simplex shards (bit-identical results for any count)",
+    )
+    parser.add_argument(
+        "--refine", type=float, default=None,
+        help="coarse-to-fine target share step [%%] for multi-device "
+        "enumeration, e.g. 2.5: enumerate at the coarse grid, then "
+        "refine around the incumbent down to this step",
     )
     args = parser.parse_args(argv)
 

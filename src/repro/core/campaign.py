@@ -55,18 +55,21 @@ from .params import (
     platform_space,
     workload_space,
 )
+from .pool import pool_context
 
 #: Methods that need per-platform trained predictors.
 ML_METHODS = ("EML", "SAML")
 
 #: Per-process cache of EM enumeration references, keyed by the full
-#: cell identity (platform, workload profile, space grids, size, seed).
-#: Campaigns score the same (platform, workload) cell once per method;
-#: the EM reference is method-independent, so re-walking the space for
-#: every method is pure waste.  Entries are frozen
-#: :class:`~repro.core.methods.MethodResult` instances shared across
-#: calls; process fan-out workers keep their own (empty) cache, which
-#: only costs the walk once per worker.
+#: cell identity (platform, workload profile, space grids, size, seed,
+#: refinement fidelity).  Campaigns score the same (platform, workload)
+#: cell once per method; the EM reference is method-independent, so
+#: re-walking the space for every method is pure waste.  Entries are
+#: frozen :class:`~repro.core.methods.MethodResult` instances shared
+#: across calls.  Process fan-out keeps the parent authoritative:
+#: workers are pre-seeded with the parent's entries and return whatever
+#: they computed fresh, which the parent merges back — so a repeated
+#: campaign never re-walks a cell, no matter the start method.
 _EM_CACHE: dict[tuple, "MethodResult"] = {}
 
 
@@ -75,14 +78,25 @@ def clear_em_cache() -> None:
     _EM_CACHE.clear()
 
 
-def _em_reference(spec, workload, space, size_mb: float, seed: int):
+def _em_reference(
+    spec,
+    workload,
+    space,
+    size_mb: float,
+    seed: int,
+    shards: int = 1,
+    refine: float | None = None,
+):
     """The cell's EM optimum, computed once per (platform, workload, space).
 
     The reference runs on its own substrate via the vectorized separable
-    fast path, so a cache miss costs two columnar measurement grids; a
-    hit costs the workload-profile resolution and a dict lookup.
-    Results are bit-identical to an uncached
-    :func:`~repro.core.methods.run_em` call (same seed, fresh simulator).
+    fast path, so a cache miss costs a handful of columnar measurement
+    grids; a hit costs the workload-profile resolution and a dict
+    lookup.  Results are bit-identical to an uncached
+    :func:`~repro.core.methods.run_em` call (same seed, fresh
+    simulator).  ``refine`` is part of the cache key (it changes the
+    enumerated fidelity); ``shards`` is not (sharding is bit-identical
+    by construction, it only changes how the walk is executed).
     """
     from ..machines.simulator import _resolve_workload
 
@@ -92,12 +106,30 @@ def _em_reference(spec, workload, space, size_mb: float, seed: int):
         space.signature(),
         float(size_mb),
         seed,
+        None if refine is None else float(refine),
     )
     hit = _EM_CACHE.get(key)
     if hit is None:
-        hit = run_em(space, PlatformSimulator(spec, workload, seed=seed), size_mb)
+        hit = run_em(
+            space,
+            PlatformSimulator(spec, workload, seed=seed),
+            size_mb,
+            shards=shards,
+            refine=refine,
+        )
         _EM_CACHE[key] = hit
     return hit
+
+
+def _em_cache_snapshot() -> dict[tuple, "MethodResult"]:
+    """A picklable copy of the parent cache, used to pre-seed workers."""
+    return dict(_EM_CACHE)
+
+
+def _merge_em_entries(fresh: dict[tuple, "MethodResult"]) -> None:
+    """Adopt worker-computed EM references (existing entries win)."""
+    for key, value in fresh.items():
+        _EM_CACHE.setdefault(key, value)
 
 
 @dataclass(frozen=True)
@@ -219,6 +251,8 @@ def tune_platform(
     workload: WorkloadProfile | WorkloadSpec | str = DNA_SCAN,
     engine: str | EvaluationEngine | None = "cached+batched",
     batch_size: int = 64,
+    shards: int = 1,
+    refine: float | None = None,
 ) -> PlatformTuneReport:
     """Tune one platform and compare against its enumeration optimum.
 
@@ -228,10 +262,14 @@ def tune_platform(
     which case the configuration space is scenario-fitted via
     :func:`~repro.core.params.workload_space`.  The EM reference runs
     on its own substrate via the vectorized separable fast path and is
-    cached per (platform, workload, space, size, seed) cell — scoring
-    the same cell with several methods re-walks the space exactly once
-    — so the reported ``experiments`` count only what the method itself
-    consumed.
+    cached per (platform, workload, space, size, seed, refine) cell —
+    scoring the same cell with several methods re-walks the space
+    exactly once — so the reported ``experiments`` count only what the
+    method itself consumed.  ``shards`` / ``refine`` are the
+    multi-device enumeration knobs (see
+    :func:`~repro.core.enumeration.enumerate_best_separable`): they
+    apply to the EM reference and to the EM/EML methods, sharded
+    serially here so campaign fan-out never nests process pools.
     """
     spec = get_platform(platform)
     method = method.upper()
@@ -247,7 +285,7 @@ def tune_platform(
     if isinstance(engine, str):
         engine = make_engine(engine, batch_size=batch_size)
 
-    em = _em_reference(spec, workload, space, size_mb, seed)
+    em = _em_reference(spec, workload, space, size_mb, seed, shards, refine)
 
     sim = PlatformSimulator(spec, workload, seed=seed)
     ml = None
@@ -273,6 +311,8 @@ def tune_platform(
         iterations=iterations,
         seed=seed,
         engine=engine,
+        shards=shards,
+        refine=refine,
     )
 
     baseline_sim = PlatformSimulator(spec, workload, seed=seed)
@@ -306,10 +346,33 @@ def tune_platform(
     )
 
 
-def _tune_platform_worker(args: tuple) -> PlatformTuneReport:
-    """Picklable fan-out target: platforms resolve by name in the worker."""
-    name, kwargs = args
-    return tune_platform(name, **kwargs)
+def _seed_and_diff_cache(seed_cache: dict[tuple, "MethodResult"]):
+    """Pre-seed the worker cache; return a callable yielding fresh entries.
+
+    Fan-out workers start from the parent's cache snapshot so they never
+    re-walk a cell the parent already holds, and the returned closure
+    diffs the cache afterwards so only *worker-computed* entries travel
+    back over the pipe (merged by :func:`_merge_em_entries`).
+    """
+    _merge_em_entries(seed_cache)
+    known = frozenset(_EM_CACHE)
+    return lambda: {k: v for k, v in _EM_CACHE.items() if k not in known}
+
+
+def _tune_platform_worker(
+    args: tuple,
+) -> tuple[PlatformTuneReport, dict[tuple, "MethodResult"]]:
+    """Picklable fan-out target: platforms resolve by name in the worker.
+
+    Returns the report plus any EM-cache entries this worker computed
+    fresh, so the parent can merge them back into its authoritative
+    cache (workers are throwaway processes; without the merge, a
+    repeated campaign would re-run every EM reference).
+    """
+    name, kwargs, seed_cache = args
+    fresh_entries = _seed_and_diff_cache(seed_cache)
+    report = tune_platform(name, **kwargs)
+    return report, fresh_entries()
 
 
 def tune_campaign(
@@ -322,7 +385,10 @@ def tune_campaign(
     workload: WorkloadProfile | WorkloadSpec | str = DNA_SCAN,
     engine: str | None = "cached+batched",
     batch_size: int = 64,
+    shards: int = 1,
+    refine: float | None = None,
     processes: int | None = None,
+    start_method: str | None = None,
 ) -> CampaignResult:
     """Run one tuning method across a fleet of registered platforms.
 
@@ -333,8 +399,14 @@ def tune_campaign(
     (see :func:`tune_platform`); use :func:`tune_matrix` to cross the
     whole workload registry with the fleet.  ``engine`` is an engine
     *name*; each platform gets a fresh instance so its batch/cache
-    statistics are per-platform.  ``processes > 1`` scores platforms
-    concurrently over a process pool with identical results.
+    statistics are per-platform.  ``shards`` / ``refine`` are the
+    multi-device enumeration knobs (see :func:`tune_platform`).
+    ``processes > 1`` scores platforms concurrently over a process pool
+    with identical results; ``start_method`` pins the pool's start
+    method (default: safest available, see
+    :data:`~repro.core.pool.START_METHOD_PREFERENCE`).  Workers are
+    pre-seeded with the parent's EM-reference cache and their fresh
+    entries are merged back, so repeated campaigns never re-walk a cell.
     """
     method = method.upper()
     if platforms is None:
@@ -353,19 +425,20 @@ def tune_campaign(
         workload=workload,
         engine=engine,
         batch_size=batch_size,
+        shards=shards,
+        refine=refine,
     )
-    jobs = [(name, kwargs) for name in names]
+    jobs = [(name, kwargs, _em_cache_snapshot()) for name in names]
     if processes is not None and processes > 1 and len(jobs) > 1:
-        import multiprocessing
-
-        try:
-            context = multiprocessing.get_context("fork")
-        except ValueError:  # pragma: no cover - non-POSIX platforms
-            context = multiprocessing.get_context("spawn")
+        context = pool_context(start_method)
         with context.Pool(min(processes, len(jobs))) as pool:
-            reports = pool.map(_tune_platform_worker, jobs)
+            outcomes = pool.map(_tune_platform_worker, jobs)
     else:
-        reports = [_tune_platform_worker(job) for job in jobs]
+        outcomes = [_tune_platform_worker(job) for job in jobs]
+    reports = []
+    for report, fresh in outcomes:
+        _merge_em_entries(fresh)
+        reports.append(report)
     return CampaignResult(method=method, size_mb=size_mb, reports=tuple(reports))
 
 
@@ -497,13 +570,16 @@ def tune_scenario(
     seed: int = 0,
     engine: str | EvaluationEngine | None = "cached+batched",
     batch_size: int = 64,
+    shards: int = 1,
+    refine: float | None = None,
 ) -> ScenarioReport:
     """Tune one (workload, platform) cell.
 
     ``size_mb`` defaults to the workload's own input scale
     (``WorkloadSpec.sequence_mb``) — a short-read archive is tuned at
     300 MB, a wheat genome at 24 GB — so the matrix compares scenarios,
-    not one arbitrary size.
+    not one arbitrary size.  ``shards`` / ``refine`` are the
+    multi-device enumeration knobs (see :func:`tune_platform`).
     """
     spec = get_workload(workload)
     size = float(size_mb) if size_mb is not None else spec.sequence_mb
@@ -516,14 +592,24 @@ def tune_scenario(
         workload=spec,
         engine=engine,
         batch_size=batch_size,
+        shards=shards,
+        refine=refine,
     )
     return ScenarioReport(workload=spec.name, size_mb=size, report=report)
 
 
-def _tune_scenario_worker(args: tuple) -> ScenarioReport:
-    """Picklable fan-out target: scenarios resolve by name in the worker."""
-    workload, platform, kwargs = args
-    return tune_scenario(workload, platform, **kwargs)
+def _tune_scenario_worker(
+    args: tuple,
+) -> tuple[ScenarioReport, dict[tuple, "MethodResult"]]:
+    """Picklable fan-out target: scenarios resolve by name in the worker.
+
+    Same pre-seed / merge-back cache protocol as
+    :func:`_tune_platform_worker`.
+    """
+    workload, platform, kwargs, seed_cache = args
+    fresh_entries = _seed_and_diff_cache(seed_cache)
+    report = tune_scenario(workload, platform, **kwargs)
+    return report, fresh_entries()
 
 
 def tune_matrix(
@@ -536,7 +622,10 @@ def tune_matrix(
     seed: int = 0,
     engine: str | None = "cached+batched",
     batch_size: int = 64,
+    shards: int = 1,
+    refine: float | None = None,
     processes: int | None = None,
+    start_method: str | None = None,
 ) -> MatrixResult:
     """Run one tuning method over a workload x platform scenario matrix.
 
@@ -545,8 +634,11 @@ def tune_matrix(
     a fresh substrate, a scenario-fitted space, and its own engine
     instance (``engine`` is an engine *name*), so per-cell statistics
     and budgets stay clean; ``processes > 1`` fans whole cells out over
-    a process pool with identical results.  ``size_mb`` overrides the
-    per-workload input scale for every cell (mostly useful in tests).
+    a process pool with identical results, with the same start-method
+    selection and EM-cache merge-back protocol as :func:`tune_campaign`.
+    ``shards`` / ``refine`` are the multi-device enumeration knobs (see
+    :func:`tune_platform`).  ``size_mb`` overrides the per-workload
+    input scale for every cell (mostly useful in tests).
     """
     method = method.upper()
     wnames = list(workloads) if workloads is not None else list(workload_names())
@@ -565,19 +657,20 @@ def tune_matrix(
         seed=seed,
         engine=engine,
         batch_size=batch_size,
+        shards=shards,
+        refine=refine,
     )
-    jobs = [(w, p, kwargs) for w in wnames for p in pnames]
+    jobs = [(w, p, kwargs, _em_cache_snapshot()) for w in wnames for p in pnames]
     if processes is not None and processes > 1 and len(jobs) > 1:
-        import multiprocessing
-
-        try:
-            context = multiprocessing.get_context("fork")
-        except ValueError:  # pragma: no cover - non-POSIX platforms
-            context = multiprocessing.get_context("spawn")
+        context = pool_context(start_method)
         with context.Pool(min(processes, len(jobs))) as pool:
-            reports = pool.map(_tune_scenario_worker, jobs)
+            outcomes = pool.map(_tune_scenario_worker, jobs)
     else:
-        reports = [_tune_scenario_worker(job) for job in jobs]
+        outcomes = [_tune_scenario_worker(job) for job in jobs]
+    reports = []
+    for report, fresh in outcomes:
+        _merge_em_entries(fresh)
+        reports.append(report)
     return MatrixResult(
         method=method,
         workloads=tuple(get_workload(w).name for w in wnames),

@@ -14,17 +14,58 @@ energy.  :func:`enumerate_best` exposes both protocols: the faithful
 per-configuration walk and the separable fast path (identical results —
 the simulator's noise is per-(side, threads, affinity, mb), which is
 exactly what a real re-run-free measurement campaign would produce).
+
+Sharding and coarse-to-fine refinement
+--------------------------------------
+
+Multi-device share simplexes explode combinatorially (stars and bars:
+``C(100/step + parts - 1, parts - 1)`` vectors), which historically
+forced :func:`~repro.core.params.share_step_for` to coarsen the grid as
+the device count grows.  Two mechanisms make fine grids tractable
+again:
+
+* **Sharding** (``shards=``): :func:`plan_share_shards` splits the
+  share simplex into contiguous lexicographic ranges; each shard runs
+  the same columnar per-part walk over its slice and the per-shard
+  argmins reduce with the deterministic tie-break rule (earlier shard
+  wins ties, i.e. the lexicographically earliest share vector — exactly
+  what the unsharded walk picks).  Because the simulator's noise is a
+  pure function of the measurement key, shard composition can never
+  change a measured value: results are bit-identical for every shard
+  count, whether shards run serially or over a process pool
+  (``processes=``, start method via
+  :func:`~repro.core.pool.pool_context`).
+
+* **Refinement** (``refine=``): enumerate the full simplex at the
+  space's coarse step, then re-enumerate a ±2-step neighborhood of the
+  incumbent share vector at half the step, recursively down to the
+  requested target step (the paper-grid 2.5 %, or 1.25 % for huge
+  inputs).  The incumbent is only replaced by a *strictly* better
+  vector, so the refined optimum is monotonically non-increasing and
+  the whole schedule stays deterministic.
 """
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass
+from typing import Callable, Sequence
 
 import numpy as np
 
 from ..machines.affinity import DEVICE_AFFINITIES, HOST_AFFINITIES, affinity_domain
 from .energy import ConfigurationEvaluator, Energy
-from .params import DeviceSlot, ParameterSpace, SystemConfiguration, part_mb_columns
+from .params import (
+    SHARE_SUM_TOL,
+    DeviceSlot,
+    ParameterSpace,
+    SystemConfiguration,
+    part_mb_columns,
+)
+
+#: How far (in fine-grid steps, per share component) a refinement level
+#: searches around the incumbent share vector.
+REFINE_RADIUS = 2
 
 
 @dataclass(frozen=True)
@@ -124,15 +165,15 @@ def _side_grid_times(
 
 
 def _part_mb_per_share(
-    space: ParameterSpace, size_mb: float
+    share_vectors: Sequence[Sequence[float]], size_mb: float
 ) -> tuple[np.ndarray, list[np.ndarray]]:
     """Per-part megabytes for every share vector (residual-last rule).
 
     Delegates to the shared :func:`~repro.core.params.part_mb_columns`
-    over the space's share grid, so the separable walk measures the
-    exact megabyte values a faithful per-configuration walk would.
+    over the share grid, so the separable walk measures the exact
+    megabyte values a faithful per-configuration walk would.
     """
-    shares = np.asarray(space.share_vectors, dtype=np.float64)
+    shares = np.asarray(share_vectors, dtype=np.float64)
     return part_mb_columns(
         shares[:, 0], [shares[:, k] for k in range(2, shares.shape[1])], size_mb
     )
@@ -168,26 +209,49 @@ def _part_grid_times(
     return times.reshape(n_combo, n_mb)
 
 
-def _enumerate_best_separable_multi(
-    space: ParameterSpace, time_grid, size_mb: float
-) -> EnumerationResult:
-    """Separable enumeration over a multi-device space.
+#: Per-part ``(threads, affinities)`` grids: host first, then devices.
+PartGrids = tuple[tuple[tuple, tuple], ...]
 
-    For a fixed share vector the parts are independent, so the space
+
+def _part_grids(space: ParameterSpace) -> PartGrids:
+    """The per-part grids of a space, host first (the walk's axis order)."""
+    return ((space.host_threads, space.host_affinities), *space.device_grids)
+
+
+def _combo_count(part_grids: PartGrids) -> int:
+    """How many (threads, affinity) combo products the grids span."""
+    count = 1
+    for threads, affinities in part_grids:
+        count *= len(threads) * len(affinities)
+    return count
+
+
+def _separable_walk(
+    part_grids: PartGrids,
+    share_vectors: tuple[tuple[float, ...], ...],
+    time_grid,
+    size_mb: float,
+) -> EnumerationResult:
+    """Separable enumeration over one slice of a share simplex.
+
+    For a fixed share vector the parts are independent, so the slice
     optimum is ``min over shares of (max over parts of the part's best
     combo time)`` — each part's ``combos x unique-mb`` grid is timed
     once as columns and the cross product never materializes.  Ties
     break deterministically: per part, the earliest combo in Table I
     order; across share vectors, the earliest vector in simplex
-    (lexicographic) order.
+    (lexicographic) order.  Because times are a pure function of
+    ``(part, threads, affinity, mb)``, the result over a slice is
+    independent of which other slices exist — the invariant sharding
+    relies on.
     """
-    host_mb, dev_mbs = _part_mb_per_share(space, size_mb)
-    n_shares = len(space.share_vectors)
+    host_mb, dev_mbs = _part_mb_per_share(share_vectors, size_mb)
+    n_shares = len(share_vectors)
+    num_parts = len(part_grids)
     # Per part: unique mb values, each combo timed once per unique mb.
-    best_time = np.empty((1 + space.num_devices, n_shares))
+    best_time = np.empty((num_parts, n_shares))
     best_combo: list[np.ndarray] = []
     part_mbs = [host_mb, *dev_mbs]
-    part_grids = [(space.host_threads, space.host_affinities), *space.device_grids]
     for p, (mbs, (threads, affinities)) in enumerate(zip(part_mbs, part_grids)):
         uniq, inverse = np.unique(mbs, return_inverse=True)
         grid = _part_grid_times(time_grid, p - 1, threads, affinities, uniq)
@@ -196,7 +260,7 @@ def _enumerate_best_separable_multi(
         best_combo.append(combo_at[inverse])
     energy = best_time.max(axis=0)
     j = int(np.argmin(energy))
-    shares = space.share_vectors[j]
+    shares = share_vectors[j]
 
     def combo(part: int) -> tuple[int, str]:
         threads, affinities = part_grids[part]
@@ -204,7 +268,7 @@ def _enumerate_best_separable_multi(
         return threads[c // len(affinities)], affinities[c % len(affinities)]
 
     host_threads, host_affinity = combo(0)
-    slots = [combo(1 + k) for k in range(space.num_devices)]
+    slots = [combo(1 + k) for k in range(num_parts - 1)]
     best_config = SystemConfiguration(
         host_threads=host_threads,
         host_affinity=host_affinity,
@@ -218,15 +282,267 @@ def _enumerate_best_separable_multi(
     best_energy = Energy(
         float(best_time[0, j]),
         float(best_time[1, j]),
-        tuple(float(best_time[2 + k, j]) for k in range(space.num_devices - 1)),
+        tuple(float(best_time[2 + k, j]) for k in range(num_parts - 2)),
     )
-    return EnumerationResult(best_config, best_energy, space.size())
+    return EnumerationResult(
+        best_config, best_energy, _combo_count(part_grids) * n_shares
+    )
+
+
+def _enumerate_best_separable_multi(
+    space: ParameterSpace,
+    time_grid,
+    size_mb: float,
+    share_vectors: tuple[tuple[float, ...], ...] | None = None,
+) -> EnumerationResult:
+    """Separable enumeration over a multi-device space (one shard).
+
+    ``share_vectors`` restricts the walk to a slice of the simplex
+    (defaults to the whole grid); see :func:`_separable_walk` for the
+    walk itself and its tie-break rules.
+    """
+    vectors = space.share_vectors if share_vectors is None else share_vectors
+    return _separable_walk(_part_grids(space), vectors, time_grid, size_mb)
+
+
+# --- shard planning and reduction -------------------------------------------
+
+
+def plan_share_shards(n_vectors: int, shards: int) -> tuple[tuple[int, int], ...]:
+    """Contiguous lexicographic ``[start, stop)`` ranges over a simplex.
+
+    Splits ``n_vectors`` share vectors into at most ``shards`` nearly
+    equal contiguous ranges (the first ``n_vectors % shards`` ranges
+    carry one extra vector).  Empty ranges are never produced, so the
+    plan has ``min(shards, n_vectors)`` entries and their union is
+    exactly ``range(n_vectors)`` — the shard-union == full-simplex
+    equivalence the tests pin.
+    """
+    if n_vectors < 1:
+        raise ValueError(f"n_vectors must be >= 1, got {n_vectors}")
+    if shards < 1:
+        raise ValueError(f"shards must be >= 1, got {shards}")
+    shards = min(shards, n_vectors)
+    base, extra = divmod(n_vectors, shards)
+    ranges: list[tuple[int, int]] = []
+    start = 0
+    for i in range(shards):
+        stop = start + base + (1 if i < extra else 0)
+        ranges.append((start, stop))
+        start = stop
+    return tuple(ranges)
+
+
+def _reduce_shards(results: Sequence[EnumerationResult]) -> EnumerationResult:
+    """Global argmin over per-shard argmins (deterministic tie-break).
+
+    Shards cover contiguous lexicographic ranges in order, so keeping
+    the *earliest* shard on energy ties reproduces the unsharded rule
+    (lexicographically earliest share vector) exactly.
+    """
+    best = results[0]
+    total = results[0].configurations
+    for r in results[1:]:
+        total += r.configurations
+        if r.best_energy.value < best.best_energy.value:
+            best = r
+    return EnumerationResult(best.best_config, best.best_energy, total)
+
+
+def _measured_shard_worker(args: tuple) -> EnumerationResult:
+    """Picklable fan-out target: rebuilds the substrate in the worker.
+
+    The simulator's noise is a pure function of ``(seed, side, threads,
+    affinity, mb)``, so a worker-local rebuild measures bit-identical
+    values to the parent's simulator.
+    """
+    platform, workload, seed, noise, part_grids, vectors, size_mb = args
+    from ..machines.simulator import PlatformSimulator
+
+    sim = PlatformSimulator(platform, workload, noise=noise, seed=seed)
+    return _separable_walk(part_grids, vectors, _measured_time_grid(sim), size_mb)
+
+
+def _ml_shard_worker(args: tuple) -> EnumerationResult:
+    """Picklable fan-out target: the trained predictors travel by pickle."""
+    ml, part_grids, vectors, size_mb = args
+    return _separable_walk(part_grids, vectors, _ml_time_grid(ml), size_mb)
+
+
+def _measured_time_grid(sim) -> Callable:
+    """Part-indexed columnar measurement closure over a simulator."""
+
+    def measured(part: int, threads, codes, mb):
+        if part < 0:
+            return sim.measure_host_columns(threads, codes, mb)
+        return sim.measure_device_columns(threads, codes, mb, device=part)
+
+    return measured
+
+
+def _ml_time_grid(ml) -> Callable:
+    """Part-indexed columnar prediction closure over trained predictors."""
+
+    def predicted(part: int, threads, codes, mb):
+        domain = HOST_AFFINITIES if part < 0 else DEVICE_AFFINITIES
+        side = "host" if part < 0 else "device"
+        return ml.predict_part(side, threads, [domain[int(c)] for c in codes], mb)
+
+    return predicted
+
+
+# --- coarse-to-fine refinement ----------------------------------------------
+
+
+def refine_share_steps(start_step: float, target_step: float) -> tuple[float, ...]:
+    """The halving schedule from a coarse share step down to a target.
+
+    Each level halves the previous step; the last level snaps to the
+    target when a clean halving would overshoot it (e.g. quadphi's
+    12.5 % coarse grid refines through 6.25 and 3.125 down to the
+    paper-grid 2.5).  An already-fine start yields an empty schedule.
+    """
+    if target_step <= 0:
+        raise ValueError(f"target step must be positive, got {target_step}")
+    if start_step <= 0:
+        raise ValueError(f"start step must be positive, got {start_step}")
+    steps: list[float] = []
+    step = float(start_step)
+    while step - float(target_step) > SHARE_SUM_TOL:
+        step = step / 2.0
+        if step < float(target_step):
+            step = float(target_step)
+        steps.append(step)
+    return tuple(steps)
+
+
+def _share_grid_step(share_vectors: Sequence[Sequence[float]]) -> float | None:
+    """The grid step of a share simplex (minimum positive component gap).
+
+    For grids built by :func:`~repro.core.params.share_simplex` this is
+    exactly the construction step; for hand-written vector sets it is
+    the finest resolvable gap, which is what refinement should start
+    halving from.  ``None`` when every component is identical (nothing
+    to refine).
+    """
+    values = sorted({float(s) for vec in share_vectors for s in vec})
+    gaps = [b - a for a, b in zip(values, values[1:]) if b - a > SHARE_SUM_TOL]
+    return min(gaps) if gaps else None
+
+
+def neighborhood_share_vectors(
+    center: Sequence[float], step: float, radius: int = REFINE_RADIUS
+) -> tuple[tuple[float, ...], ...]:
+    """Share vectors on the ``step`` grid near ``center``, lexicographic.
+
+    Every component stays within ``radius`` grid steps of the center's
+    (grid-snapped) component and the vector sums to exactly 100.  The
+    center itself is included whenever it lies on the grid; when it does
+    not (a snapped level after the schedule clamps to the target step),
+    the neighborhood still brackets it, and callers keep the incumbent
+    unless a strictly better vector appears.
+    """
+    if step <= 0 or step > 100:
+        raise ValueError(f"step must be in (0, 100], got {step}")
+    total = round(100.0 / step)
+    if abs(total * step - 100.0) > SHARE_SUM_TOL:
+        raise ValueError(f"step {step} does not divide 100 evenly")
+    lo: list[int] = []
+    hi: list[int] = []
+    for share in center:
+        units = share / step
+        lo.append(max(0, math.floor(units) - radius))
+        hi.append(min(total, math.ceil(units) + radius))
+    n = len(lo)
+    lo_suffix = [0] * (n + 1)
+    hi_suffix = [0] * (n + 1)
+    for i in range(n - 1, -1, -1):
+        lo_suffix[i] = lo_suffix[i + 1] + lo[i]
+        hi_suffix[i] = hi_suffix[i + 1] + hi[i]
+    out: list[tuple[float, ...]] = []
+
+    def walk(i: int, remaining: int, prefix: tuple[int, ...]) -> None:
+        if i == n - 1:
+            if lo[i] <= remaining <= hi[i]:
+                out.append(tuple(float(k * step) for k in (*prefix, remaining)))
+            return
+        for k in range(lo[i], hi[i] + 1):
+            rest = remaining - k
+            if lo_suffix[i + 1] <= rest <= hi_suffix[i + 1]:
+                walk(i + 1, rest, (*prefix, k))
+
+    walk(0, total, ())
+    return tuple(out)
+
+
+def _sharded_refined_walk(
+    space: ParameterSpace,
+    time_grid,
+    size_mb: float,
+    *,
+    shards: int,
+    refine: float | None,
+    processes: int | None,
+    start_method: str | None,
+    worker,
+    job_payload,
+) -> EnumerationResult:
+    """Sharded coarse walk plus the optional coarse-to-fine schedule.
+
+    ``worker`` / ``job_payload`` describe the picklable per-shard job
+    for the pooled path; the serial path reuses ``time_grid`` directly.
+    Every refinement level walks the incumbent's ±``REFINE_RADIUS``
+    neighborhood at the level's step through the same sharded reduction,
+    replacing the incumbent only when strictly better — so the final
+    optimum is monotonically non-increasing in the number of levels and
+    bit-identical across shard counts and start methods.
+    """
+    part_grids = _part_grids(space)
+    pooled = processes is not None and processes > 1 and shards > 1
+
+    def run_level(vectors: tuple[tuple[float, ...], ...]) -> EnumerationResult:
+        ranges = plan_share_shards(len(vectors), shards)
+        if pooled and len(ranges) > 1:
+            from .pool import pool_context
+
+            jobs = [
+                (*job_payload, part_grids, vectors[a:b], size_mb) for a, b in ranges
+            ]
+            context = pool_context(start_method)
+            with context.Pool(min(processes, len(jobs))) as pool:
+                results = pool.map(worker, jobs)
+        else:
+            results = [
+                _separable_walk(part_grids, vectors[a:b], time_grid, size_mb)
+                for a, b in ranges
+            ]
+        return _reduce_shards(results)
+
+    best = run_level(space.share_vectors)
+    total = best.configurations
+    if refine is not None:
+        coarse_step = _share_grid_step(space.share_vectors)
+        if coarse_step is not None:
+            for fine_step in refine_share_steps(coarse_step, float(refine)):
+                vectors = neighborhood_share_vectors(
+                    best.best_config.shares, fine_step
+                )
+                level = run_level(vectors)
+                total += level.configurations
+                if level.best_energy.value < best.best_energy.value:
+                    best = level
+    return EnumerationResult(best.best_config, best.best_energy, total)
 
 
 def enumerate_best_separable(
     space: ParameterSpace,
     sim,
     size_mb: float,
+    *,
+    shards: int = 1,
+    refine: float | None = None,
+    processes: int | None = None,
+    start_method: str | None = None,
 ) -> EnumerationResult:
     """Fast exact enumeration exploiting objective separability.
 
@@ -243,16 +559,38 @@ def enumerate_best_separable(
     Multi-device spaces route through the per-part separable walk: one
     columnar measurement grid per part (every device keeps its own
     model and noise stream) composed as ``E = max`` over parts, with
-    the deterministic tie-breaks documented on
-    :func:`_enumerate_best_separable_multi`.
+    the deterministic tie-breaks documented on :func:`_separable_walk`.
+    They also honor the scale-out knobs (see the module docstring):
+
+    ``shards``
+        Split the share simplex into that many contiguous lexicographic
+        slices and reduce per-slice argmins — bounding each slice's
+        working set and enabling process fan-out, with bit-identical
+        results for every shard count.
+    ``refine``
+        Target share step in percent: after the coarse walk, refine the
+        incumbent's neighborhood level by level down to this step
+        (e.g. ``2.5`` for paper-grid fidelity).
+    ``processes`` / ``start_method``
+        Fan shards out over a process pool (workers rebuild the
+        deterministic substrate from the simulator's identity); the
+        start method follows :func:`~repro.core.pool.pool_context`.
+
+    Single-device spaces already enumerate their full 2.5 %-step
+    fraction grid directly, so the knobs are no-ops there.
     """
     if space.num_devices > 1:
-        def measured(part: int, threads, codes, mb):
-            if part < 0:
-                return sim.measure_host_columns(threads, codes, mb)
-            return sim.measure_device_columns(threads, codes, mb, device=part)
-
-        return _enumerate_best_separable_multi(space, measured, size_mb)
+        return _sharded_refined_walk(
+            space,
+            _measured_time_grid(sim),
+            size_mb,
+            shards=shards,
+            refine=refine,
+            processes=processes,
+            start_method=start_method,
+            worker=_measured_shard_worker,
+            job_payload=(sim.platform, sim.workload, sim.seed, sim.noise),
+        )
     fractions = np.asarray(space.fractions, dtype=np.float64)
     host_mb = size_mb * fractions / 100.0
     device_mb = size_mb - host_mb
@@ -280,6 +618,11 @@ def enumerate_best_separable_ml(
     space: ParameterSpace,
     ml,
     size_mb: float,
+    *,
+    shards: int = 1,
+    refine: float | None = None,
+    processes: int | None = None,
+    start_method: str | None = None,
 ) -> EnumerationResult:
     """Separable EML walk for multi-device spaces (predictions, no cost).
 
@@ -288,14 +631,22 @@ def enumerate_best_separable_ml(
     multi-device product space never needs one prediction per
     configuration: each part's ``combos x unique-mb`` grid goes through
     the vectorized ensemble predictor once.  Tie-breaks follow
-    :func:`_enumerate_best_separable_multi`.
+    :func:`_separable_walk`; ``shards`` / ``refine`` / ``processes`` /
+    ``start_method`` behave exactly as on
+    :func:`enumerate_best_separable` (pooled shards pickle the trained
+    predictors to the workers — predictions are deterministic, so
+    results stay bit-identical).
     """
     if space.num_devices == 1:
         raise ValueError("single-device spaces use enumerate_best on the ML evaluator")
-
-    def predicted(part: int, threads, codes, mb):
-        domain = HOST_AFFINITIES if part < 0 else DEVICE_AFFINITIES
-        side = "host" if part < 0 else "device"
-        return ml.predict_part(side, threads, [domain[int(c)] for c in codes], mb)
-
-    return _enumerate_best_separable_multi(space, predicted, size_mb)
+    return _sharded_refined_walk(
+        space,
+        _ml_time_grid(ml),
+        size_mb,
+        shards=shards,
+        refine=refine,
+        processes=processes,
+        start_method=start_method,
+        worker=_ml_shard_worker,
+        job_payload=(ml,),
+    )

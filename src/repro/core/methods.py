@@ -96,16 +96,31 @@ def run_em(
     *,
     separable_fast_path: bool = True,
     engine: EvaluationEngine | None = None,
+    shards: int = 1,
+    refine: float | None = None,
+    processes: int | None = None,
+    start_method: str | None = None,
 ) -> MethodResult:
     """Enumeration + Measurements: certain optimum, maximal effort.
 
     The default separable fast path computes the per-side measurement
     grids directly and never consults ``engine`` (its stats stay at
     zero for EM); the engine only backs the faithful per-configuration
-    walk (``separable_fast_path=False``).
+    walk (``separable_fast_path=False``).  ``shards`` / ``refine`` /
+    ``processes`` / ``start_method`` are the multi-device scale-out
+    knobs of :func:`~repro.core.enumeration.enumerate_best_separable`
+    (no-ops on single-device spaces and on the faithful walk).
     """
     if separable_fast_path:
-        res = enumerate_best_separable(space, sim, size_mb)
+        res = enumerate_best_separable(
+            space,
+            sim,
+            size_mb,
+            shards=shards,
+            refine=refine,
+            processes=processes,
+            start_method=start_method,
+        )
     else:
         evaluator = MeasurementEvaluator(sim)
         res = enumerate_best(space, evaluator, size_mb, engine=engine)  # type: ignore[assignment]
@@ -126,6 +141,10 @@ def run_eml(
     size_mb: float,
     *,
     engine: EvaluationEngine | None = None,
+    shards: int = 1,
+    refine: float | None = None,
+    processes: int | None = None,
+    start_method: str | None = None,
 ) -> MethodResult:
     """Enumeration + Machine Learning: full space walk on predictions.
 
@@ -133,10 +152,20 @@ def run_eml(
     the suggested configuration for reporting).  A batched ``engine``
     vectorizes the 19 926-prediction walk.  Multi-device spaces route
     through the separable ML walk (their product spaces are far too
-    large for a per-configuration walk; the engine is not consulted).
+    large for a per-configuration walk; the engine is not consulted)
+    and honor the ``shards`` / ``refine`` / ``processes`` /
+    ``start_method`` scale-out knobs.
     """
     if space.num_devices > 1:
-        res = enumerate_best_separable_ml(space, ml, size_mb)
+        res = enumerate_best_separable_ml(
+            space,
+            ml,
+            size_mb,
+            shards=shards,
+            refine=refine,
+            processes=processes,
+            start_method=start_method,
+        )
     else:
         res = enumerate_best(space, ml, size_mb, engine=engine)
     measured = _measure_config(sim, res.best_config, size_mb)
@@ -219,20 +248,45 @@ def run_method(
     iterations: int = 1000,
     seed: int = 0,
     engine: EvaluationEngine | None = None,
+    shards: int = 1,
+    refine: float | None = None,
+    processes: int | None = None,
+    start_method: str | None = None,
 ) -> MethodResult:
     """Dispatch by method name ("EM", "EML", "SAM", "SAML").
 
     ``engine`` selects the evaluation backend for the search phase (see
     :mod:`repro.core.engine`); method results are engine-independent for
-    the deterministic evaluators used here.
+    the deterministic evaluators used here.  ``shards`` / ``refine`` /
+    ``processes`` / ``start_method`` apply to the enumeration methods
+    on multi-device spaces (annealing searches ignore them).
     """
     method = method.upper()
     if method == "EM":
-        return run_em(space, sim, size_mb, engine=engine)
+        return run_em(
+            space,
+            sim,
+            size_mb,
+            engine=engine,
+            shards=shards,
+            refine=refine,
+            processes=processes,
+            start_method=start_method,
+        )
     if method == "EML":
         if ml is None:
             raise ValueError("EML requires a trained MLEvaluator")
-        return run_eml(space, ml, sim, size_mb, engine=engine)
+        return run_eml(
+            space,
+            ml,
+            sim,
+            size_mb,
+            engine=engine,
+            shards=shards,
+            refine=refine,
+            processes=processes,
+            start_method=start_method,
+        )
     if method == "SAM":
         return run_sam(space, sim, size_mb, iterations=iterations, seed=seed, engine=engine)
     if method == "SAML":

@@ -33,13 +33,21 @@ The workload-fraction axis generalizes to a *discretized share simplex*:
 the set of share vectors whose components are non-negative multiples of
 a grid step and sum to 100.  With ``p = N + 1`` parts and step ``s``
 there are ``C(100/s + p - 1, p - 1)`` such vectors (stars and bars), so
-the step must grow with the device count to keep enumeration finite:
-:func:`share_step_for` maps 2 parts -> 2.5 % (the paper's 41-value
-fraction grid, verbatim), 3 parts -> 5 %, 4 parts -> 10 %, 5 parts ->
-12.5 %, and 25 % beyond — a few hundred share vectors at every N up to
-the paper's eight accelerators.  Share vectors enumerate
+the default step grows with the device count to keep a single dense
+walk finite: :func:`share_step_for` maps 2 parts -> 2.5 % (the paper's
+41-value fraction grid, verbatim), 3 parts -> 5 %, 4 parts -> 10 %,
+5 parts -> 12.5 %, and 25 % beyond — a few hundred share vectors at
+every N up to the paper's eight accelerators.  Share vectors enumerate
 lexicographically (host share ascending, then device 0, ...), which for
 N=1 reproduces Table I's fraction order exactly.
+
+These coarse :data:`SHARE_STEPS` are a *starting point*, not a ceiling:
+the sharded, coarse-to-fine enumeration in
+:mod:`repro.core.enumeration` (``shards=`` / ``refine=``) partitions
+the simplex into contiguous lexicographic slices and re-enumerates the
+incumbent's neighborhood at successively halved steps, so N >= 4
+platforms reach paper-grid (2.5 %, or even 1.25 %) share fidelity
+without ever materializing the full fine simplex.
 """
 
 from __future__ import annotations
@@ -146,6 +154,18 @@ def part_mb_columns(
     for shares in extra_shares:
         rest = rest + shares
     primary_share = 100.0 - host_fraction - rest
+    # The float64 accumulation of `rest` can overshoot for non-dyadic
+    # share vectors (e.g. thirds), leaving a primary share like -1.4e-14
+    # — and a negative megabyte column downstream.  Clamp the residual
+    # at zero within the share-sum tolerance; a residual below -tol
+    # means the shares genuinely sum past 100 and is an input error.
+    if np.any(primary_share < -SHARE_SUM_TOL):
+        worst = float(np.min(primary_share))
+        raise ValueError(
+            f"shares must sum to 100: host + extra-device shares exceed 100 "
+            f"(primary residual {worst:g})"
+        )
+    primary_share = np.maximum(primary_share, 0.0)
     mbs = [size_mb * primary_share / 100.0]
     for shares in extra_shares[:-1]:
         mbs.append(size_mb * shares / 100.0)
@@ -257,10 +277,18 @@ class SystemConfiguration:
 
     @property
     def device_slots(self) -> tuple[DeviceSlot, ...]:
-        """Per-device ``(threads, affinity, share)`` for all N devices."""
+        """Per-device ``(threads, affinity, share)`` for all N devices.
+
+        The primary share is clamped at zero within
+        :data:`SHARE_SUM_TOL` (construction already rejected anything
+        below that), so near-boundary non-dyadic share vectors never
+        produce a DeviceSlot with a ``-1e-14`` share.
+        """
         return (
             DeviceSlot(
-                self.device_threads, self.device_affinity, self.primary_device_share
+                self.device_threads,
+                self.device_affinity,
+                max(0.0, self.primary_device_share),
             ),
             *self.extra_devices,
         )
@@ -276,7 +304,10 @@ class SystemConfiguration:
         host_mb = size_mb * self.host_fraction / 100.0
         if not self.extra_devices:
             return host_mb, (size_mb - host_mb,)
-        mbs = [size_mb * self.primary_device_share / 100.0]
+        # Clamp like part_mb_columns: a -1e-14 residual share (possible
+        # for non-dyadic vectors within SHARE_SUM_TOL) must not become
+        # a negative megabyte count.
+        mbs = [size_mb * max(0.0, self.primary_device_share) / 100.0]
         for slot in self.extra_devices[:-1]:
             mbs.append(size_mb * slot.share / 100.0)
         remaining = size_mb - host_mb

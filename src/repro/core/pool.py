@@ -1,0 +1,46 @@
+"""Process-pool start-method selection, shared by every fan-out layer.
+
+One helper answers "which multiprocessing context should a pool use?"
+for the campaign fan-out (:func:`~repro.core.campaign.tune_campaign` /
+:func:`~repro.core.campaign.tune_matrix`) and the share-simplex shard
+pool (:func:`~repro.core.enumeration.enumerate_best_separable`).
+
+The preference order is ``forkserver`` > ``spawn`` > ``fork``:
+``fork`` duplicates the whole parent — including any NumPy/BLAS thread
+pool mid-lock — which can deadlock a worker before it runs a single
+job.  ``forkserver`` forks from a clean single-threaded server process
+(cheap *and* safe); ``spawn`` is the portable fallback.  ``fork`` is
+kept last for exotic builds that compile out the other two.
+
+Every computation fanned out here is deterministic given its pickled
+arguments, so the start method changes wall-clock behavior only, never
+results — pinned by the start-method regression tests.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+
+#: Start methods in preference order (safest viable first).
+START_METHOD_PREFERENCE = ("forkserver", "spawn", "fork")
+
+
+def pool_context(prefer: str | None = None):
+    """The multiprocessing context every pool in this package should use.
+
+    ``prefer`` forces a specific start method (mainly for the
+    start-method-independence regression tests); it must be available on
+    this interpreter.  Without it, the first available method of
+    :data:`START_METHOD_PREFERENCE` wins.
+    """
+    available = multiprocessing.get_all_start_methods()
+    if prefer is not None:
+        if prefer not in available:
+            raise ValueError(
+                f"start method {prefer!r} not available; have: {available}"
+            )
+        return multiprocessing.get_context(prefer)
+    for method in START_METHOD_PREFERENCE:
+        if method in available:
+            return multiprocessing.get_context(method)
+    return multiprocessing.get_context()  # pragma: no cover - no known platform

@@ -241,6 +241,10 @@ class WorkDistributionTuner:
         seed: int | None = None,
         engine: str | EvaluationEngine | None = None,
         batch_size: int = 64,
+        shards: int = 1,
+        refine: float | None = None,
+        processes: int | None = None,
+        start_method: str | None = None,
     ) -> TuningOutcome:
         """Suggest a configuration for an input of ``size_mb`` megabytes.
 
@@ -253,7 +257,11 @@ class WorkDistributionTuner:
         an :class:`~repro.core.engine.EvaluationEngine` instance or one
         of the :func:`~repro.core.engine.make_engine` names ("serial",
         "cached", "batched", "cached+batched"); results are identical
-        across backends, only throughput differs.
+        across backends, only throughput differs.  ``shards`` /
+        ``refine`` / ``processes`` / ``start_method`` are the
+        multi-device enumeration scale-out knobs (see
+        :func:`~repro.core.enumeration.enumerate_best_separable`);
+        annealing methods and single-device spaces ignore them.
         """
         if size_mb <= 0:
             raise ValueError(f"size_mb must be positive, got {size_mb}")
@@ -271,6 +279,10 @@ class WorkDistributionTuner:
             iterations=iterations,
             seed=self.seed if seed is None else seed,
             engine=engine,
+            shards=shards,
+            refine=refine,
+            processes=processes,
+            start_method=start_method,
         )
         host_cfg = host_only_config(max(self.space.host_threads))
         host_only = Energy(

@@ -1,5 +1,7 @@
 """Cross-platform tuning campaigns (core/campaign.py)."""
 
+import multiprocessing
+
 import pytest
 
 from repro.core import platform_space, tune_campaign, tune_platform
@@ -158,3 +160,156 @@ class TestEMReferenceCache:
         tune_platform("slowlink", method="SAM", size_mb=SIZE_MB, iterations=ITERS)
         assert len(_EM_CACHE) == 3
         clear_em_cache()
+
+    def test_refine_is_part_of_the_cache_key(self):
+        from repro.core.campaign import _EM_CACHE, clear_em_cache
+
+        clear_em_cache()
+        plain = tune_platform(
+            "dualphi", method="SAM", size_mb=SIZE_MB, iterations=ITERS
+        )
+        refined = tune_platform(
+            "dualphi", method="SAM", size_mb=SIZE_MB, iterations=ITERS, refine=2.5
+        )
+        # Different fidelity -> different cached reference; the refined
+        # EM optimum can only improve on the coarse-grid one.
+        assert len(_EM_CACHE) == 2
+        assert refined.em_time <= plain.em_time
+        clear_em_cache()
+
+    def test_shards_are_not_part_of_the_cache_key(self):
+        from repro.core.campaign import _EM_CACHE, clear_em_cache
+
+        clear_em_cache()
+        plain = tune_platform(
+            "dualphi", method="SAM", size_mb=SIZE_MB, iterations=ITERS
+        )
+        sharded = tune_platform(
+            "dualphi", method="SAM", size_mb=SIZE_MB, iterations=ITERS, shards=4
+        )
+        assert len(_EM_CACHE) == 1  # sharding is bit-identical: same cell
+        assert sharded.em_time == plain.em_time
+        assert sharded.em_config == plain.em_config
+        clear_em_cache()
+
+
+class TestEMCacheMergeBack:
+    """Satellite fix: the EM cache must survive process fan-out."""
+
+    def _worker_kwargs(self) -> dict:
+        return dict(method="SAM", size_mb=SIZE_MB, iterations=ITERS, seed=0)
+
+    def test_preseeded_worker_runs_no_duplicate_em_walk(self):
+        from repro.core import campaign
+
+        campaign.clear_em_cache()
+        tune_platform("emil", **self._worker_kwargs())
+        assert len(campaign._EM_CACHE) == 1
+        snapshot = campaign._em_cache_snapshot()
+        report, fresh = campaign._tune_platform_worker(
+            ("emil", self._worker_kwargs(), snapshot)
+        )
+        # The worker found its cell pre-seeded: nothing fresh to return.
+        assert fresh == {}
+        assert report.em_config == next(iter(snapshot.values())).config
+        campaign.clear_em_cache()
+
+    def test_cold_worker_returns_its_fresh_entries(self):
+        from repro.core import campaign
+
+        campaign.clear_em_cache()
+        report, fresh = campaign._tune_platform_worker(
+            ("emil", self._worker_kwargs(), {})
+        )
+        assert len(fresh) == 1
+        (entry,) = fresh.values()
+        assert entry.config == report.em_config
+        campaign.clear_em_cache()
+
+    def test_pooled_campaign_populates_the_parent_cache(self):
+        from repro.core import campaign
+
+        campaign.clear_em_cache()
+        first = tune_campaign(
+            ("emil", "fathost"),
+            method="SAM",
+            size_mb=SIZE_MB,
+            iterations=ITERS,
+            processes=2,
+        )
+        # Worker-computed EM references travel back over the pipe and
+        # land in the parent's cache.
+        assert len(campaign._EM_CACHE) == 2
+        cached = {entry.config for entry in campaign._EM_CACHE.values()}
+        assert {r.em_config for r in first} == cached
+        campaign.clear_em_cache()
+
+    def test_repeated_campaign_never_rewalks_a_cell(self, monkeypatch):
+        from repro.core import campaign
+
+        campaign.clear_em_cache()
+        first = tune_campaign(
+            ("emil", "fathost"),
+            method="SAM",
+            size_mb=SIZE_MB,
+            iterations=ITERS,
+            processes=2,
+        )
+        # Every cell is now cached in the parent; a repeat campaign must
+        # not enumerate again, pooled or not.
+        def forbidden(*args, **kwargs):
+            raise AssertionError("EM reference re-walked despite a warm cache")
+
+        monkeypatch.setattr(campaign, "run_em", forbidden)
+        again = tune_campaign(
+            ("emil", "fathost"),
+            method="SAM",
+            size_mb=SIZE_MB,
+            iterations=ITERS,
+        )
+        assert [r.em_time for r in again] == [r.em_time for r in first]
+        assert len(campaign._EM_CACHE) == 2
+        campaign.clear_em_cache()
+
+
+class TestCampaignStartMethods:
+    @pytest.fixture(scope="class")
+    def serial(self) -> CampaignResult:
+        return tune_campaign(
+            ("emil", "slowlink"), method="SAM", size_mb=SIZE_MB, iterations=ITERS
+        )
+
+    @pytest.mark.parametrize(
+        "start_method", multiprocessing.get_all_start_methods()
+    )
+    def test_results_are_start_method_independent(self, serial, start_method):
+        fanned = tune_campaign(
+            ("emil", "slowlink"),
+            method="SAM",
+            size_mb=SIZE_MB,
+            iterations=ITERS,
+            processes=2,
+            start_method=start_method,
+        )
+        assert [r.config for r in fanned] == [r.config for r in serial]
+        assert [r.measured_time for r in fanned] == [
+            r.measured_time for r in serial
+        ]
+
+    def test_default_context_prefers_the_safest_method(self):
+        from repro.core.pool import START_METHOD_PREFERENCE, pool_context
+
+        available = multiprocessing.get_all_start_methods()
+        want = next(m for m in START_METHOD_PREFERENCE if m in available)
+        assert pool_context().get_start_method() == want
+
+    def test_unknown_start_method_rejected(self):
+        with pytest.raises(ValueError, match="not available"):
+            tune_campaign(
+                ("emil", "slowlink"),
+                method="SAM",
+                size_mb=SIZE_MB,
+                iterations=ITERS,
+                processes=2,
+                start_method="no-such-method",
+            )

@@ -64,6 +64,34 @@ class TestShareSimplex:
         assert steps == sorted(steps)
         assert steps[0] == 2.5
 
+    @pytest.mark.parametrize(
+        "parts,step,expected",
+        [
+            (4, 10.0, 286),  # C(10 + 3, 3)
+            (4, 5.0, 1771),  # C(20 + 3, 3)
+            (5, 20.0, 126),  # C(5 + 4, 4)
+            (5, 10.0, 1001),  # C(10 + 4, 4)
+        ],
+    )
+    def test_fine_step_overrides_follow_stars_and_bars(self, parts, step, expected):
+        vectors = share_simplex(parts, step)
+        assert len(vectors) == expected
+        assert list(vectors) == sorted(vectors)
+        for v in vectors:
+            assert len(v) == parts
+            assert sum(v) == 100.0  # exact, not approximate
+            assert all(s % step == 0.0 for s in v)
+
+    @pytest.mark.parametrize("parts,step", [(4, 5.0), (5, 12.5)])
+    def test_shard_union_reassembles_the_full_simplex(self, parts, step):
+        from repro.core import plan_share_shards
+
+        vectors = share_simplex(parts, step)
+        for shards in (1, 3, 7, 16):
+            ranges = plan_share_shards(len(vectors), shards)
+            union = [v for a, b in ranges for v in vectors[a:b]]
+            assert union == list(vectors)
+
 
 class TestMultiDeviceConfiguration:
     def test_share_vector_and_residual_primary(self):
@@ -220,3 +248,53 @@ class TestMultiDeviceConfigTable:
             ConfigTable.from_configs(
                 [two_device_config(), SystemConfiguration(48, "scatter", 240, "balanced", 50.0)]
             )
+
+
+class TestPartMbResidualClamp:
+    def test_adversarial_fractions_clamp_to_zero(self):
+        from repro.core.params import part_mb_columns
+
+        # host 0 + three thirds: float64 accumulation leaves the primary
+        # residual at ~-1.4e-14, which must clamp to an exactly-zero
+        # megabyte column instead of going negative.
+        third = 100.0 / 3.0
+        host_mb, dev_mbs = part_mb_columns(
+            np.array([0.0]), [np.array([third])] * 3, 3170.0
+        )
+        assert host_mb[0] == 0.0
+        assert dev_mbs[0][0] == 0.0  # primary residual, clamped
+        for mb in dev_mbs:
+            assert (mb >= 0.0).all()
+        # Work is still conserved to float precision.
+        total = host_mb[0] + sum(mb[0] for mb in dev_mbs)
+        assert total == pytest.approx(3170.0, rel=1e-12)
+
+    def test_scalar_rule_clamps_identically(self):
+        third = 100.0 / 3.0
+        c = SystemConfiguration(
+            48, "scatter", 240, "balanced", 0.0,
+            (DeviceSlot(120, "balanced", third), DeviceSlot(120, "scatter", third)),
+        )
+        # primary share = 100 - 0 - 2*third ~= third - 7e-15: fine.
+        host_mb, dev_mbs = c.part_megabytes(3170.0)
+        assert host_mb == 0.0
+        assert all(mb >= 0.0 for mb in dev_mbs)
+
+    def test_residual_beyond_tolerance_still_raises(self):
+        from repro.core.params import part_mb_columns
+
+        with pytest.raises(ValueError, match="sum to 100"):
+            part_mb_columns(
+                np.array([50.0]), [np.array([30.0]), np.array([30.0])], 600.0
+            )
+
+    def test_mixed_rows_clamp_only_the_dirty_one(self):
+        from repro.core.params import part_mb_columns
+
+        third = 100.0 / 3.0
+        host = np.array([0.0, 40.0])
+        extras = [np.array([third, 25.0]), np.array([third, 10.0]), np.array([third, 5.0])]
+        host_mb, dev_mbs = part_mb_columns(host, extras, 1000.0)
+        assert dev_mbs[0][0] == 0.0
+        assert dev_mbs[0][1] == pytest.approx(200.0)  # 100-40-40 = 20 %
+        assert host_mb[1] == pytest.approx(400.0)
