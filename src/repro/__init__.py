@@ -37,6 +37,10 @@ Subpackages
 ``repro.search``
     Baseline metaheuristics for ablation (GA, tabu, hill climbing,
     random).
+``repro.service``
+    Tuning as a service: durable cross-process result store, asyncio
+    campaign server (dedup, coalescing, quotas, saturation), wire
+    protocol, and client (`repro serve` / `repro submit`).
 ``repro.experiments``
     One module per paper figure/table; see DESIGN.md's experiment index.
 """

@@ -3,8 +3,9 @@
 Artifacts: ``fig2``, ``fig5``, ``fig6``, ``fig7``, ``fig8``, ``table2``,
 ``table4``, ``table5``, ``table6``, ``table7``, ``table8``, ``table9``,
 ``fig9``, ``summary``, ``tune``, ``platforms``, ``workloads``,
-``campaign``, ``matrix``, or ``all``.  Everything prints as plain-text
-tables mirroring the paper's figures and tables.
+``campaign``, ``matrix``, ``serve``, ``submit``, or ``all``.
+Everything prints as plain-text tables mirroring the paper's figures
+and tables.
 
 ``tune`` runs one optimization method end-to-end and prints the
 suggested system configuration; ``--engine``/``--batch-size`` select
@@ -24,6 +25,14 @@ crosses the workload registry with the platform registry and prints a
 per-cell comparison table (see :mod:`repro.core.campaign`).
 ``--budget-scale small`` shrinks ``matrix`` to a 3x3 subset with a
 capped iteration budget — the CI smoke configuration.
+
+``serve`` runs the long-lived campaign server of
+:mod:`repro.service` on ``--bind``/``--port`` with a durable
+``--store`` (admission knobs: ``--max-pending``, ``--quota``), and
+``submit`` sends one batch of cells to a running server
+(``--host``/``--port``, quota bucket ``--client``), streaming per-cell
+progress; ``--json`` emits the raw protocol events instead — see
+``docs/result-store.md`` for the operating guide.
 """
 
 from __future__ import annotations
@@ -56,7 +65,8 @@ ARTIFACTS = (
     "fig2", "fig5", "fig6", "fig7", "fig8", "fig9",
     "table1", "table2", "table3",
     "table4", "table5", "table6", "table7", "table8", "table9",
-    "summary", "tune", "platforms", "workloads", "campaign", "matrix", "all",
+    "summary", "tune", "platforms", "workloads", "campaign", "matrix",
+    "serve", "submit", "all",
 )
 
 #: The ``--budget-scale small`` matrix subset: three workloads spanning
@@ -377,6 +387,124 @@ def _run_matrix(args) -> int:
     return 0
 
 
+def _run_serve(args) -> int:
+    """Run the campaign service until Ctrl-C or a client shutdown op."""
+    import asyncio
+
+    from .service import CampaignServer, ResultStore
+
+    store = ResultStore(args.store)
+    server = CampaignServer(
+        store,
+        host=args.bind,
+        port=args.port,
+        max_pending=args.max_pending,
+        quota=args.quota,
+        processes=args.processes or 0,
+    )
+
+    async def run() -> None:
+        await server.start()
+        quota = "unlimited" if args.quota is None else str(args.quota)
+        print(
+            f"serving on {server.host}:{server.port} — store {store.path} "
+            f"({store.count('scenario')} cells, {store.count('em')} EM refs), "
+            f"max-pending={args.max_pending}, quota={quota}",
+            file=sys.stderr,
+        )
+        try:
+            await server.serve_until_stopped()
+        finally:
+            await server.stop()
+
+    try:
+        asyncio.run(run())
+    except KeyboardInterrupt:
+        print("interrupted; shutting down", file=sys.stderr)
+    return 0
+
+
+def _run_submit(args, workload, platform) -> int:
+    """Send one batch of cells to a running server; stream progress."""
+    import json as json_mod
+
+    from .service import SubmitRequest
+    from .service.client import cell_results
+    from .service.client import submit as service_submit
+    from .service.serde import decode_scenario
+
+    request = SubmitRequest(
+        client=args.client,
+        workloads=_split_csv(args.workloads) or (workload.name,),
+        platforms=_split_csv(args.platforms) or (platform.name,),
+        method=(args.method or "SAM").upper(),
+        size_mb=args.size_mb,
+        iterations=args.iterations,
+        seed=args.seed,
+        engine=args.engine if args.engine is not None else "cached+batched",
+        batch_size=args.batch_size,
+        shards=args.shards,
+        refine=args.refine,
+    )
+
+    def progress(event: dict) -> None:
+        if args.json or event.get("event") != "cell" or event.get("status") != "start":
+            return
+        print(
+            f"  {event['workload']}@{event['platform']}: {event['source']}...",
+            file=sys.stderr,
+        )
+
+    try:
+        events = service_submit(
+            request, host=args.host, port=args.port, on_event=progress
+        )
+    except (ConnectionError, OSError) as exc:
+        print(
+            f"error: no server at {args.host}:{args.port} ({exc}); "
+            f"start one with `python -m repro serve`",
+            file=sys.stderr,
+        )
+        return 2
+
+    if args.json:
+        for event in events:
+            print(json_mod.dumps(event))
+
+    final = events[-1]
+    if final.get("event") == "rejected":
+        if not args.json:
+            print(f"error: request rejected: {final.get('detail')}", file=sys.stderr)
+        return 2
+    code = 0
+    for event in cell_results(events):
+        label = f"{event['workload']}@{event['platform']}"
+        if event["status"] == "done":
+            report = decode_scenario(event["payload"]).report
+            if not args.json:
+                print(
+                    f"{label:<28} [{event['source']:<9}] "
+                    f"{report.measured_time:.3f} s  {report.config.describe()}"
+                )
+        elif event["status"] == "rejected":
+            code = 3
+            if not args.json:
+                retry = event.get("retry_after")
+                hint = "" if retry is None else f" (retry in {retry:g} s)"
+                print(f"{label:<28} rejected: {event['reason']}{hint}")
+        else:
+            code = 1
+            if not args.json:
+                print(f"{label:<28} error: {event.get('error')}")
+    if not args.json:
+        tallies = {k: v for k, v in final.items() if k not in ("event", "request_id")}
+        print(
+            "done: "
+            + ", ".join(f"{key}={value}" for key, value in sorted(tallies.items()))
+        )
+    return code
+
+
 def main(argv: list[str] | None = None) -> int:
     """Entry point; returns a process exit code."""
     parser = argparse.ArgumentParser(
@@ -452,6 +580,41 @@ def main(argv: list[str] | None = None) -> int:
         "enumeration, e.g. 2.5: enumerate at the coarse grid, then "
         "refine around the incumbent down to this step",
     )
+    parser.add_argument(
+        "--bind", default="127.0.0.1",
+        help="`serve`: interface to bind the campaign server on",
+    )
+    parser.add_argument(
+        "--host", default="127.0.0.1",
+        help="`submit`: host of a running campaign server",
+    )
+    parser.add_argument(
+        "--port", type=int, default=7911,
+        help="service port (`serve` binds it — 0 picks an ephemeral port; "
+        "`submit` connects to it)",
+    )
+    parser.add_argument(
+        "--store", default="results.jsonl",
+        help="`serve`: path of the durable JSON-lines result store",
+    )
+    parser.add_argument(
+        "--max-pending", type=int, default=8,
+        help="`serve`: evaluation queue bound; cells beyond it are "
+        "rejected with a retry-after estimate",
+    )
+    parser.add_argument(
+        "--quota", type=int, default=None,
+        help="`serve`: per-client evaluation budget "
+        "(default: unlimited; store hits and coalesced cells are free)",
+    )
+    parser.add_argument(
+        "--client", default="anonymous",
+        help="`submit`: client name — the quota bucket evaluations are charged to",
+    )
+    parser.add_argument(
+        "--json", action="store_true",
+        help="`submit`: print the raw protocol events as JSON lines",
+    )
     args = parser.parse_args(argv)
 
     engine = None
@@ -491,6 +654,14 @@ def main(argv: list[str] | None = None) -> int:
 
     if want == "matrix":
         code = _run_matrix(args)
+        print(f"[done in {time.time() - t0:.1f}s]", file=sys.stderr)
+        return code
+
+    if want == "serve":
+        return _run_serve(args)
+
+    if want == "submit":
+        code = _run_submit(args, workload, platform)
         print(f"[done in {time.time() - t0:.1f}s]", file=sys.stderr)
         return code
 

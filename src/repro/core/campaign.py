@@ -72,10 +72,36 @@ ML_METHODS = ("EML", "SAML")
 #: campaign never re-walks a cell, no matter the start method.
 _EM_CACHE: dict[tuple, "MethodResult"] = {}
 
+#: Optional durable tier under :data:`_EM_CACHE`: anything with the
+#: :class:`~repro.service.store.ResultStore` ``get_em``/``put_em``
+#: surface.  When bound (see :func:`set_result_store`), cache misses
+#: read through to it and fresh references — including worker-computed
+#: entries merged back by :func:`_merge_em_entries` — are persisted, so
+#: pool workers, the campaign server, and separate processes share one
+#: on-disk store across restarts.
+_RESULT_STORE = None
+
 
 def clear_em_cache() -> None:
     """Drop all cached EM enumeration references (mainly for tests)."""
     _EM_CACHE.clear()
+
+
+def set_result_store(store):
+    """Bind (or with ``None`` unbind) the durable result store.
+
+    Returns the previously bound store so callers can restore it; the
+    in-memory :data:`_EM_CACHE` stays the first-level cache either way.
+    """
+    global _RESULT_STORE
+    previous = _RESULT_STORE
+    _RESULT_STORE = store
+    return previous
+
+
+def get_result_store():
+    """The currently bound durable result store, or ``None``."""
+    return _RESULT_STORE
 
 
 def _em_reference(
@@ -97,10 +123,44 @@ def _em_reference(
     simulator).  ``refine`` is part of the cache key (it changes the
     enumerated fidelity); ``shards`` is not (sharding is bit-identical
     by construction, it only changes how the walk is executed).
+
+    Misses fall through to the bound durable store (see
+    :func:`set_result_store`) before computing, and fresh references
+    are persisted to it.  A refined miss whose *coarse* twin (same key,
+    ``refine=None``) is cached warm-starts the coarse-to-fine schedule
+    from that incumbent instead of re-walking the full simplex — the
+    enumeration-layer read-through of
+    :func:`~repro.core.enumeration.enumerate_best_separable`.
     """
+    key = _em_cache_key(spec, workload, space, size_mb, seed, refine)
+    hit = _cache_lookup(key)
+    if hit is None:
+        coarse = None
+        if refine is not None:
+            warm = _cache_lookup(_em_cache_key(spec, workload, space, size_mb, seed, None))
+            if warm is not None:
+                from .enumeration import EnumerationResult
+
+                coarse = EnumerationResult(warm.config, warm.measured, warm.experiments)
+        hit = run_em(
+            space,
+            PlatformSimulator(spec, workload, seed=seed),
+            size_mb,
+            shards=shards,
+            refine=refine,
+            coarse=coarse,
+        )
+        _EM_CACHE[key] = hit
+        if _RESULT_STORE is not None:
+            _RESULT_STORE.put_em(key, hit)
+    return hit
+
+
+def _em_cache_key(spec, workload, space, size_mb: float, seed: int, refine):
+    """The full cell identity every cache tier keys on."""
     from ..machines.simulator import _resolve_workload
 
-    key = (
+    return (
         spec,
         _resolve_workload(workload),
         space.signature(),
@@ -108,16 +168,15 @@ def _em_reference(
         seed,
         None if refine is None else float(refine),
     )
+
+
+def _cache_lookup(key: tuple):
+    """Memory first, then the durable store (promoting hits to memory)."""
     hit = _EM_CACHE.get(key)
-    if hit is None:
-        hit = run_em(
-            space,
-            PlatformSimulator(spec, workload, seed=seed),
-            size_mb,
-            shards=shards,
-            refine=refine,
-        )
-        _EM_CACHE[key] = hit
+    if hit is None and _RESULT_STORE is not None:
+        hit = _RESULT_STORE.get_em(key)
+        if hit is not None:
+            _EM_CACHE[key] = hit
     return hit
 
 
@@ -127,9 +186,17 @@ def _em_cache_snapshot() -> dict[tuple, "MethodResult"]:
 
 
 def _merge_em_entries(fresh: dict[tuple, "MethodResult"]) -> None:
-    """Adopt worker-computed EM references (existing entries win)."""
+    """Adopt worker-computed EM references (existing entries win).
+
+    With a durable store bound, adopted entries are persisted too —
+    the store dedups by key, so re-merging a seed snapshot is free —
+    which is how pool workers' walks end up shared across processes
+    and server restarts.
+    """
     for key, value in fresh.items():
         _EM_CACHE.setdefault(key, value)
+        if _RESULT_STORE is not None:
+            _RESULT_STORE.put_em(key, value)
 
 
 @dataclass(frozen=True)

@@ -486,6 +486,7 @@ def _sharded_refined_walk(
     start_method: str | None,
     worker,
     job_payload,
+    coarse: EnumerationResult | None = None,
 ) -> EnumerationResult:
     """Sharded coarse walk plus the optional coarse-to-fine schedule.
 
@@ -496,6 +497,14 @@ def _sharded_refined_walk(
     replacing the incumbent only when strictly better — so the final
     optimum is monotonically non-increasing in the number of levels and
     bit-identical across shard counts and start methods.
+
+    ``coarse`` warm-starts the schedule: a caller that already holds
+    the *coarse-level* result for this exact (space, substrate, size) —
+    e.g. the campaign cache read-through serving a refined request on a
+    cell whose unrefined walk is stored — passes it here and the full
+    simplex walk is skipped.  The warm result carries the coarse
+    level's configuration count, so totals (and therefore the returned
+    result) are bit-identical to a cold refined walk.
     """
     part_grids = _part_grids(space)
     pooled = processes is not None and processes > 1 and shards > 1
@@ -518,7 +527,7 @@ def _sharded_refined_walk(
             ]
         return _reduce_shards(results)
 
-    best = run_level(space.share_vectors)
+    best = run_level(space.share_vectors) if coarse is None else coarse
     total = best.configurations
     if refine is not None:
         coarse_step = _share_grid_step(space.share_vectors)
@@ -543,6 +552,7 @@ def enumerate_best_separable(
     refine: float | None = None,
     processes: int | None = None,
     start_method: str | None = None,
+    coarse: EnumerationResult | None = None,
 ) -> EnumerationResult:
     """Fast exact enumeration exploiting objective separability.
 
@@ -575,6 +585,11 @@ def enumerate_best_separable(
         Fan shards out over a process pool (workers rebuild the
         deterministic substrate from the simulator's identity); the
         start method follows :func:`~repro.core.pool.pool_context`.
+    ``coarse``
+        Warm-start for the refinement schedule: the coarse-level
+        result for this exact walk, if the caller already holds it
+        (see :func:`_sharded_refined_walk`) — the full simplex walk is
+        skipped and results stay bit-identical to a cold walk.
 
     Single-device spaces already enumerate their full 2.5 %-step
     fraction grid directly, so the knobs are no-ops there.
@@ -590,6 +605,7 @@ def enumerate_best_separable(
             start_method=start_method,
             worker=_measured_shard_worker,
             job_payload=(sim.platform, sim.workload, sim.seed, sim.noise),
+            coarse=coarse,
         )
     fractions = np.asarray(space.fractions, dtype=np.float64)
     host_mb = size_mb * fractions / 100.0
@@ -623,6 +639,7 @@ def enumerate_best_separable_ml(
     refine: float | None = None,
     processes: int | None = None,
     start_method: str | None = None,
+    coarse: EnumerationResult | None = None,
 ) -> EnumerationResult:
     """Separable EML walk for multi-device spaces (predictions, no cost).
 
@@ -649,4 +666,5 @@ def enumerate_best_separable_ml(
         start_method=start_method,
         worker=_ml_shard_worker,
         job_payload=(ml,),
+        coarse=coarse,
     )

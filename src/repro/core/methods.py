@@ -100,6 +100,7 @@ def run_em(
     refine: float | None = None,
     processes: int | None = None,
     start_method: str | None = None,
+    coarse=None,
 ) -> MethodResult:
     """Enumeration + Measurements: certain optimum, maximal effort.
 
@@ -107,8 +108,9 @@ def run_em(
     grids directly and never consults ``engine`` (its stats stay at
     zero for EM); the engine only backs the faithful per-configuration
     walk (``separable_fast_path=False``).  ``shards`` / ``refine`` /
-    ``processes`` / ``start_method`` are the multi-device scale-out
-    knobs of :func:`~repro.core.enumeration.enumerate_best_separable`
+    ``processes`` / ``start_method`` / ``coarse`` are the multi-device
+    scale-out knobs of
+    :func:`~repro.core.enumeration.enumerate_best_separable`
     (no-ops on single-device spaces and on the faithful walk).
     """
     if separable_fast_path:
@@ -120,6 +122,7 @@ def run_em(
             refine=refine,
             processes=processes,
             start_method=start_method,
+            coarse=coarse,
         )
     else:
         evaluator = MeasurementEvaluator(sim)

@@ -44,3 +44,22 @@ def pool_context(prefer: str | None = None):
         if method in available:
             return multiprocessing.get_context(method)
     return multiprocessing.get_context()  # pragma: no cover - no known platform
+
+
+def pool_executor(processes: int, start_method: str | None = None):
+    """A ``ProcessPoolExecutor`` on this package's preferred context.
+
+    The ``concurrent.futures`` twin of ``pool_context(...).Pool(...)``
+    for callers that need awaitable futures rather than a blocking
+    ``map`` — the campaign server runs its off-loop evaluations through
+    this so asyncio request handling and simplex walks share the same
+    start-method policy (and the same determinism argument: workers
+    receive fully pickled, self-contained jobs).
+    """
+    from concurrent.futures import ProcessPoolExecutor
+
+    if processes < 1:
+        raise ValueError(f"processes must be >= 1, got {processes}")
+    return ProcessPoolExecutor(
+        max_workers=processes, mp_context=pool_context(start_method)
+    )

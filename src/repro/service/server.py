@@ -1,0 +1,437 @@
+"""The concurrent campaign server: admission, dedup, coalescing, quotas.
+
+:class:`CampaignServer` is a long-lived asyncio TCP server over
+:func:`~repro.core.campaign.tune_scenario`.  Request handling lives on
+the event loop; the tuning computations run *off* the loop through the
+:mod:`repro.core.pool` executor plumbing (a process pool on the
+package's preferred start method, or an in-process thread pool for
+``processes=0``), so shards/refine and the vectorized walks compose
+transparently with concurrent request service.
+
+Admission, per cell, in order (the request lifecycle diagram lives in
+``docs/architecture.md``):
+
+1. **Store dedup** — the durable
+   :class:`~repro.service.store.ResultStore` already holds this cell
+   (from any earlier request, client, process, or server lifetime):
+   answer immediately, zero computation.
+2. **Coalescing** — an identical cell is in flight right now: join as
+   a follower and await the leader's future; the leader's evaluation
+   runs once and every follower's payload is the same object.
+3. **Quota** — the client's evaluation budget is spent: reject the
+   cell (``quota-exhausted``).  Store hits and coalesced joins are
+   free; only leading an evaluation charges the budget.
+4. **Saturation** — the bounded evaluation queue is full: reject with
+   a ``retry_after`` estimate instead of queueing unboundedly.
+5. **Evaluate** — lead: run the cell off-loop, merge the worker's EM
+   cache entries back (persisting them through the bound store), store
+   the served result, resolve the followers' future.
+
+Every step streams a ``cell`` event to the client as it happens, so a
+multi-cell submit reports cells incrementally as they finish.
+
+Determinism: steps 1, 2, and 5 produce bit-identical payloads by
+construction — the store round-trip is exact
+(:mod:`repro.service.serde`), followers share the leader's payload,
+and evaluations are pure functions of the cell key — so *when* a
+result was computed, and by whom, is unobservable to clients.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import contextlib
+import math
+import time
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass, field
+
+from ..core import campaign as campaign_mod
+from ..core.pool import pool_executor
+from .protocol import (
+    DEFAULT_HOST,
+    REASON_BAD_REQUEST,
+    REASON_QUOTA,
+    REASON_SATURATED,
+    SOURCE_COALESCED,
+    SOURCE_EVALUATE,
+    SOURCE_STORE,
+    SubmitRequest,
+    accepted_event,
+    cell_event,
+    decode_line,
+    done_event,
+    encode_line,
+    error_event,
+    rejected_event,
+    stats_event,
+)
+from .serde import encode_scenario
+from .store import CellKey, ResultStore
+
+
+@dataclass
+class ServiceStats:
+    """Admission counters for one server lifetime."""
+
+    requests: int = 0
+    cells: int = 0
+    store_hits: int = 0
+    coalesced: int = 0
+    evaluated: int = 0
+    failed: int = 0
+    rejected_quota: int = 0
+    rejected_saturated: int = 0
+    client_spent: dict[str, int] = field(default_factory=dict)
+
+    def as_dict(self) -> dict:
+        return {
+            "requests": self.requests,
+            "cells": self.cells,
+            "store_hits": self.store_hits,
+            "coalesced": self.coalesced,
+            "evaluated": self.evaluated,
+            "failed": self.failed,
+            "rejected_quota": self.rejected_quota,
+            "rejected_saturated": self.rejected_saturated,
+            "client_spent": dict(self.client_spent),
+        }
+
+
+class CampaignServer:
+    """Serve concurrent tuning requests against one durable store.
+
+    ``max_pending`` bounds queued-plus-running evaluations (the
+    graceful-saturation knob); ``quota`` is the per-client evaluation
+    budget (``None`` = unlimited); ``processes=0`` evaluates on an
+    in-process thread pool (tests, examples — the analytic core
+    releases the GIL inside NumPy), ``processes>0`` fans out over a
+    process pool via :func:`~repro.core.pool.pool_executor`.  Pass
+    ``port=0`` to bind an ephemeral port (read it back from ``.port``
+    after :meth:`start`).
+    """
+
+    def __init__(
+        self,
+        store: ResultStore,
+        *,
+        host: str = DEFAULT_HOST,
+        port: int = 0,
+        max_pending: int = 8,
+        quota: int | None = None,
+        processes: int = 0,
+        start_method: str | None = None,
+    ):
+        if max_pending < 1:
+            raise ValueError(f"max_pending must be >= 1, got {max_pending}")
+        if quota is not None and quota < 0:
+            raise ValueError(f"quota must be >= 0, got {quota}")
+        self.store = store
+        self.host = host
+        self.port = port
+        self.max_pending = max_pending
+        self.quota = quota
+        self.processes = processes
+        self.start_method = start_method
+        self.stats = ServiceStats()
+        self._workers = processes if processes > 0 else min(max_pending, 4)
+        self._in_flight: dict[CellKey, asyncio.Future] = {}
+        self._pending = 0
+        self._next_request_id = 0
+        self._avg_eval_s = 0.0
+        self._evals_observed = 0
+        self._server: asyncio.AbstractServer | None = None
+        self._executor = None
+        self._previous_store = None
+        self._stopped: asyncio.Event | None = None
+
+    # -- lifecycle -----------------------------------------------------------
+
+    async def start(self) -> "CampaignServer":
+        """Bind the socket, the executor, and the durable-store tier."""
+        self._loop = asyncio.get_running_loop()
+        self._stopped = asyncio.Event()
+        # The server's store becomes the campaign layer's durable tier:
+        # EM references computed by in-process evaluations (and worker
+        # entries merged back) persist without any further plumbing.
+        self._previous_store = campaign_mod.set_result_store(self.store)
+        if self.processes > 0:
+            self._executor = pool_executor(self.processes, self.start_method)
+        else:
+            self._executor = ThreadPoolExecutor(
+                max_workers=self._workers, thread_name_prefix="repro-eval"
+            )
+        self._server = await asyncio.start_server(
+            self._handle_connection, self.host, self.port
+        )
+        self.port = self._server.sockets[0].getsockname()[1]
+        return self
+
+    async def stop(self) -> None:
+        """Close the socket, drain in-flight evaluations, unbind the store."""
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+            self._server = None
+        if self._executor is not None:
+            await asyncio.get_running_loop().run_in_executor(
+                None, lambda: self._executor.shutdown(wait=True)
+            )
+            self._executor = None
+        campaign_mod.set_result_store(self._previous_store)
+        if self._stopped is not None:
+            self._stopped.set()
+
+    async def serve_until_stopped(self) -> None:
+        """Block until :meth:`stop` runs (Ctrl-C or a ``shutdown`` op)."""
+        assert self._stopped is not None, "call start() first"
+        await self._stopped.wait()
+
+    # -- connection handling -------------------------------------------------
+
+    async def _handle_connection(self, reader, writer) -> None:
+        lock = asyncio.Lock()
+
+        async def send(event: dict) -> None:
+            async with lock:
+                writer.write(encode_line(event))
+                await writer.drain()
+
+        stopping = False
+        try:
+            while True:
+                line = await reader.readline()
+                if not line:
+                    break
+                try:
+                    message = decode_line(line)
+                except ValueError as exc:
+                    await send(error_event(str(exc)))
+                    continue
+                op = message.get("op")
+                if op == "submit":
+                    await self._handle_submit(message, send)
+                elif op == "stats":
+                    await send(stats_event(self.stats_payload()))
+                elif op == "ping":
+                    await send({"event": "pong"})
+                elif op == "shutdown":
+                    await send({"event": "stopping"})
+                    stopping = True
+                    break
+                else:
+                    await send(error_event(f"unknown op {op!r}"))
+        except (ConnectionResetError, BrokenPipeError):
+            pass
+        finally:
+            writer.close()
+            with contextlib.suppress(ConnectionResetError, BrokenPipeError):
+                await writer.wait_closed()
+        if stopping:
+            await self.stop()
+
+    async def _handle_submit(self, message: dict, send) -> None:
+        self._next_request_id += 1
+        request_id = self._next_request_id
+        self.stats.requests += 1
+        try:
+            request = SubmitRequest.from_message(message)
+            cells = [
+                CellKey.for_request(
+                    workload,
+                    platform,
+                    method=request.method,
+                    size_mb=request.size_mb,
+                    iterations=request.iterations,
+                    seed=request.seed,
+                    engine=request.engine,
+                    batch_size=request.batch_size,
+                    refine=request.refine,
+                )
+                for workload in request.workloads
+                for platform in request.platforms
+            ]
+            if not cells:
+                raise ValueError("submit needs at least one workload and platform")
+        except (TypeError, ValueError) as exc:
+            await send(rejected_event(request_id, REASON_BAD_REQUEST, str(exc)))
+            return
+        await send(accepted_event(request_id, len(cells)))
+        tallies = {
+            "store_hits": 0,
+            "coalesced": 0,
+            "evaluated": 0,
+            "rejected": 0,
+            "errors": 0,
+        }
+
+        async def run_one(cell: CellKey) -> None:
+            tag = await self._run_cell(request_id, request, cell, send)
+            tallies[tag] += 1
+
+        # Duplicate cells *within* one request coalesce like duplicates
+        # across requests: the first occurrence leads, the rest follow.
+        await asyncio.gather(*(run_one(cell) for cell in cells))
+        await send(done_event(request_id, {"cells": len(cells), **tallies}))
+
+    # -- per-cell admission and evaluation -----------------------------------
+
+    async def _run_cell(
+        self, request_id: int, request: SubmitRequest, cell: CellKey, send
+    ) -> str:
+        self.stats.cells += 1
+
+        def event(status: str, **kwargs) -> dict:
+            return cell_event(
+                request_id, cell.workload, cell.platform, status, **kwargs
+            )
+
+        # 1. Durable-store dedup: any earlier request, process, or
+        #    server lifetime may have paid for this cell already.
+        hit = self.store.get_scenario(cell)
+        if hit is not None:
+            self.stats.store_hits += 1
+            await send(
+                event("done", source=SOURCE_STORE, payload=encode_scenario(hit))
+            )
+            return "store_hits"
+
+        # 2. Coalescing: identical cell in flight -> follow its leader.
+        #    (No awaits between this check and leader registration
+        #    below, so admission is atomic under asyncio.)
+        leader = self._in_flight.get(cell)
+        if leader is not None:
+            self.stats.coalesced += 1
+            await send(event("start", source=SOURCE_COALESCED))
+            try:
+                payload = await asyncio.shield(leader)
+            except Exception as exc:  # leader failed; followers report it
+                await send(event("error", error=str(exc)))
+                return "errors"
+            await send(event("done", source=SOURCE_COALESCED, payload=payload))
+            return "coalesced"
+
+        # 3. Per-client budget quota (evaluations led, not cells asked).
+        spent = self.stats.client_spent.get(request.client, 0)
+        if self.quota is not None and spent >= self.quota:
+            self.stats.rejected_quota += 1
+            await send(event("rejected", reason=REASON_QUOTA))
+            return "rejected"
+
+        # 4. Bounded-queue saturation: reject with retry-after instead
+        #    of queueing without limit.
+        if self._pending >= self.max_pending:
+            self.stats.rejected_saturated += 1
+            await send(
+                event(
+                    "rejected",
+                    reason=REASON_SATURATED,
+                    retry_after=self._retry_after(),
+                )
+            )
+            return "rejected"
+
+        # 5. Lead the evaluation.
+        self.stats.client_spent[request.client] = spent + 1
+        self._pending += 1
+        future: asyncio.Future = self._loop.create_future()
+        # Retrieve the exception even when no follower is waiting, so a
+        # failed leader never logs "exception was never retrieved".
+        future.add_done_callback(
+            lambda f: f.exception() if not f.cancelled() else None
+        )
+        self._in_flight[cell] = future
+        await send(event("start", source=SOURCE_EVALUATE))
+        started = time.monotonic()
+        try:
+            payload = await self._evaluate(request, cell)
+        except Exception as exc:
+            self.stats.failed += 1
+            future.set_exception(exc)
+            await send(event("error", error=str(exc)))
+            return "errors"
+        finally:
+            del self._in_flight[cell]
+            self._pending -= 1
+        elapsed = time.monotonic() - started
+        self._observe_eval(elapsed)
+        self.stats.evaluated += 1
+        future.set_result(payload)
+        await send(
+            event(
+                "done",
+                source=SOURCE_EVALUATE,
+                payload=payload,
+                elapsed=round(elapsed, 6),
+            )
+        )
+        return "evaluated"
+
+    async def _evaluate(self, request: SubmitRequest, cell: CellKey) -> dict:
+        """One off-loop :func:`tune_scenario` run, store-integrated.
+
+        Reuses the campaign layer's picklable fan-out worker and its
+        pre-seed / merge-back cache protocol verbatim: workers start
+        from the parent's EM-cache snapshot and their fresh entries are
+        merged (and persisted, via the bound store) on return.
+        """
+        kwargs = dict(
+            method=cell.method,
+            size_mb=cell.size_mb,
+            iterations=cell.iterations,
+            seed=cell.seed,
+            engine=cell.engine,
+            batch_size=cell.batch_size,
+            shards=request.shards,
+            refine=cell.refine,
+        )
+        job = (
+            cell.workload,
+            cell.platform,
+            kwargs,
+            campaign_mod._em_cache_snapshot(),
+        )
+        report, fresh = await self._loop.run_in_executor(
+            self._executor, campaign_mod._tune_scenario_worker, job
+        )
+        campaign_mod._merge_em_entries(fresh)
+        self.store.put_scenario(cell, report)
+        return encode_scenario(report)
+
+    # -- saturation estimate and stats ---------------------------------------
+
+    def _observe_eval(self, elapsed: float) -> None:
+        """Running mean of evaluation latency (feeds retry-after)."""
+        self._evals_observed += 1
+        self._avg_eval_s += (elapsed - self._avg_eval_s) / self._evals_observed
+
+    def _retry_after(self) -> float:
+        """Rough seconds until a queue slot frees up.
+
+        The queue drains a worker-wide wave every ``avg`` seconds, so a
+        full queue clears a slot after about ``avg * ceil(pending /
+        workers)``; before any evaluation completes the estimate falls
+        back to one second per queued cell.
+        """
+        avg = self._avg_eval_s if self._evals_observed else 1.0
+        waves = math.ceil(self._pending / max(1, self._workers))
+        return round(max(avg, avg * waves), 2)
+
+    def stats_payload(self) -> dict:
+        """The ``stats`` op's payload: admission + store counters."""
+        return {
+            "server": {
+                **self.stats.as_dict(),
+                "in_flight": len(self._in_flight),
+                "pending": self._pending,
+                "max_pending": self.max_pending,
+                "quota": self.quota,
+                "avg_eval_s": round(self._avg_eval_s, 6),
+            },
+            "store": {
+                **self.store.stats.as_dict(),
+                "path": self.store.path,
+                "em_entries": self.store.count("em"),
+                "scenario_entries": self.store.count("scenario"),
+            },
+        }

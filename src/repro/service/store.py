@@ -1,0 +1,325 @@
+"""The durable, cross-process tuning result store.
+
+This promotes the in-process EM-reference cache
+(:data:`repro.core.campaign._EM_CACHE`) to an on-disk store that
+server restarts, pool workers, and unrelated processes all share — the
+ACToR-style durable experiment-store shape: one append-only JSON-lines
+file, one record per line, readable and greppable by humans.
+
+Two record kinds live in one file (full format spec, invalidation
+rules, and concurrency guarantees in ``docs/result-store.md``):
+
+``em``
+    One EM enumeration reference, keyed by the campaign cache key —
+    ``(platform spec, workload profile, space signature, size, seed,
+    refine)``.  The key tuple is hashed to a digest
+    (:func:`em_key_digest`): dataclass ``repr`` is deterministic and
+    content-complete, so equal cells collide and *any* change to the
+    platform calibration, workload profile, or grid shape changes the
+    digest — structural invalidation for free.
+``scenario``
+    One fully served request cell, keyed by :class:`CellKey` (the
+    result-relevant request parameters, registry-canonicalized).  A
+    duplicate request — concurrent or after a restart — is answered
+    from this record with zero recomputation.
+
+Every record carries ``schema``: records whose version differs from
+the reader's are skipped at load (counted in ``stats.invalidated``),
+so a format change invalidates old files without deleting them.
+
+Concurrency: writes are single ``O_APPEND`` lines (atomic for this
+size on POSIX), duplicate records for the same key are deterministic-
+identical and first-one-wins at load, and :meth:`ResultStore.refresh`
+tails the file from the last read offset so long-lived processes see
+other writers' entries without re-parsing the whole file.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+from dataclasses import dataclass
+
+from ..core.campaign import ScenarioReport
+from ..core.methods import MethodResult
+from ..dna.workloads import get_workload
+from ..machines.registry import get_platform
+from .serde import (
+    decode_method_result,
+    decode_scenario,
+    encode_method_result,
+    encode_scenario,
+)
+
+#: Bump on any incompatible change to record layout or key derivation;
+#: readers skip records from other versions (versioned invalidation).
+STORE_SCHEMA_VERSION = 1
+
+KIND_EM = "em"
+KIND_SCENARIO = "scenario"
+
+
+def em_key_digest(key: tuple) -> str:
+    """Stable digest of a campaign EM-cache key tuple.
+
+    The tuple is all frozen dataclasses, tuples, and scalars, whose
+    ``repr`` is deterministic and spells out every calibration field —
+    hashing it gives equal digests for equal cells and fresh digests
+    whenever anything that could change the result changes.
+    """
+    return hashlib.sha256(repr(key).encode("utf-8")).hexdigest()
+
+
+@dataclass(frozen=True)
+class CellKey:
+    """Identity of one served request cell: the result-relevant knobs.
+
+    ``workload`` / ``platform`` are registry-canonical names and
+    ``size_mb`` is resolved (a ``None`` request size means "the
+    workload's own scale", which must dedup against an explicit equal
+    size).  Execution-only knobs — ``shards``, ``processes``,
+    ``start_method`` — are deliberately absent: they are bit-identical
+    by construction, so a result computed with 4 shards serves a
+    1-shard request verbatim.  ``engine`` / ``batch_size`` stay in the
+    key because the served report embeds engine statistics.
+    """
+
+    workload: str
+    platform: str
+    method: str
+    size_mb: float
+    iterations: int
+    seed: int
+    engine: str | None
+    batch_size: int
+    refine: float | None
+
+    @classmethod
+    def for_request(
+        cls,
+        workload: str,
+        platform: str,
+        *,
+        method: str = "SAM",
+        size_mb: float | None = None,
+        iterations: int = 1000,
+        seed: int = 0,
+        engine: str | None = "cached+batched",
+        batch_size: int = 64,
+        refine: float | None = None,
+    ) -> "CellKey":
+        """Canonicalize a request into its dedup identity.
+
+        Raises ``ValueError`` for unknown workload/platform names, so
+        admission rejects bad requests before touching the store.
+        """
+        wspec = get_workload(workload)
+        pspec = get_platform(platform)
+        return cls(
+            workload=wspec.name,
+            platform=pspec.name,
+            method=method.upper(),
+            size_mb=float(size_mb) if size_mb is not None else wspec.sequence_mb,
+            iterations=int(iterations),
+            seed=int(seed),
+            engine=engine,
+            batch_size=int(batch_size),
+            refine=None if refine is None else float(refine),
+        )
+
+    def digest(self) -> str:
+        return hashlib.sha256(repr(self).encode("utf-8")).hexdigest()
+
+    def describe(self) -> str:
+        """Short human form, e.g. ``SAM short-read@emil 300MB seed=0``."""
+        refined = "" if self.refine is None else f" refine={self.refine:g}"
+        return (
+            f"{self.method} {self.workload}@{self.platform} "
+            f"{self.size_mb:g}MB seed={self.seed}{refined}"
+        )
+
+
+@dataclass
+class StoreStats:
+    """Counters a long-lived server reports through its stats op."""
+
+    hits: int = 0  # get() answered from the store
+    misses: int = 0  # get() found nothing
+    puts: int = 0  # fresh records appended
+    duplicates: int = 0  # put() skipped: key already present
+    invalidated: int = 0  # records skipped: foreign schema version
+    corrupt: int = 0  # lines skipped: not parseable JSON records
+
+    def as_dict(self) -> dict:
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "puts": self.puts,
+            "duplicates": self.duplicates,
+            "invalidated": self.invalidated,
+            "corrupt": self.corrupt,
+        }
+
+
+class ResultStore:
+    """Append-only JSON-lines store for EM references and served cells.
+
+    One instance per process per file; every public accessor keeps the
+    in-memory index consistent with what this process has read so far,
+    and :meth:`refresh` tails records appended by other processes.
+    First-one-wins on duplicate keys (duplicates are deterministic-
+    identical, see the module docstring), matching the in-memory
+    cache's ``setdefault`` merge rule.
+    """
+
+    def __init__(self, path: str, *, schema_version: int = STORE_SCHEMA_VERSION):
+        self.path = str(path)
+        self.schema_version = int(schema_version)
+        self.stats = StoreStats()
+        self._entries: dict[tuple[str, str], dict] = {}
+        self._meta: dict[tuple[str, str], dict] = {}
+        self._offset = 0
+        self.refresh()
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    # -- file tailing --------------------------------------------------------
+
+    def refresh(self) -> int:
+        """Read records appended since the last read; return how many.
+
+        Only complete lines are consumed: a concurrent writer's partial
+        line stays in the file until its newline lands, so the offset
+        never advances past a record boundary.
+        """
+        if not os.path.exists(self.path):
+            return 0
+        with open(self.path, "rb") as fh:
+            fh.seek(self._offset)
+            chunk = fh.read()
+        end = chunk.rfind(b"\n")
+        if end < 0:
+            return 0
+        self._offset += end + 1
+        adopted = 0
+        for line in chunk[: end + 1].splitlines():
+            if self._adopt_line(line):
+                adopted += 1
+        return adopted
+
+    def _adopt_line(self, line: bytes) -> bool:
+        line = line.strip()
+        if not line:
+            return False
+        try:
+            record = json.loads(line)
+            kind = record["kind"]
+            digest = record["key"]
+            payload = record["payload"]
+            schema = record["schema"]
+        except (ValueError, KeyError, TypeError):
+            self.stats.corrupt += 1
+            return False
+        if schema != self.schema_version:
+            self.stats.invalidated += 1
+            return False
+        entry = (kind, digest)
+        if entry in self._entries:
+            self.stats.duplicates += 1
+            return False
+        self._entries[entry] = payload
+        self._meta[entry] = record.get("meta", {})
+        return True
+
+    def _append(self, record: dict) -> None:
+        line = json.dumps(record, separators=(",", ":")) + "\n"
+        # O_APPEND: concurrent writers interleave whole lines, never bytes.
+        fd = os.open(self.path, os.O_WRONLY | os.O_CREAT | os.O_APPEND, 0o644)
+        try:
+            os.write(fd, line.encode("utf-8"))
+        finally:
+            os.close(fd)
+
+    def _get(self, kind: str, digest: str) -> dict | None:
+        payload = self._entries.get((kind, digest))
+        if payload is None:
+            # Another process may have written the cell since we last
+            # looked; tail the file once before declaring a miss.
+            self.refresh()
+            payload = self._entries.get((kind, digest))
+        if payload is None:
+            self.stats.misses += 1
+            return None
+        self.stats.hits += 1
+        return payload
+
+    def _put(self, kind: str, digest: str, meta: dict, payload: dict) -> bool:
+        entry = (kind, digest)
+        if entry in self._entries:
+            self.stats.duplicates += 1
+            return False
+        self._entries[entry] = payload
+        self._meta[entry] = meta
+        self._append(
+            {
+                "schema": self.schema_version,
+                "kind": kind,
+                "key": digest,
+                "meta": meta,
+                "payload": payload,
+            }
+        )
+        self.stats.puts += 1
+        return True
+
+    # -- EM references (the promoted _EM_CACHE) ------------------------------
+
+    def get_em(self, key: tuple) -> MethodResult | None:
+        """The stored EM reference for a campaign cache key, if any."""
+        payload = self._get(KIND_EM, em_key_digest(key))
+        return None if payload is None else decode_method_result(payload)
+
+    def put_em(self, key: tuple, result: MethodResult) -> bool:
+        """Persist one EM reference; False when the key already exists."""
+        spec, workload, _space, size_mb, seed, refine = key
+        meta = {
+            "platform": spec.name,
+            "workload": workload.name,
+            "size_mb": size_mb,
+            "seed": seed,
+            "refine": refine,
+        }
+        return self._put(
+            KIND_EM, em_key_digest(key), meta, encode_method_result(result)
+        )
+
+    # -- served scenario cells -----------------------------------------------
+
+    def get_scenario(self, cell: CellKey) -> ScenarioReport | None:
+        """The stored served result for a request cell, if any."""
+        payload = self._get(KIND_SCENARIO, cell.digest())
+        return None if payload is None else decode_scenario(payload)
+
+    def put_scenario(self, cell: CellKey, report: ScenarioReport) -> bool:
+        """Persist one served cell; False when the key already exists."""
+        meta = {"cell": cell.describe()}
+        return self._put(KIND_SCENARIO, cell.digest(), meta, encode_scenario(report))
+
+    # -- introspection -------------------------------------------------------
+
+    def count(self, kind: str) -> int:
+        """How many records of one kind are loaded."""
+        return sum(1 for k, _ in self._entries if k == kind)
+
+    def describe_entries(self) -> list[str]:
+        """Human-readable one-liners for every loaded record."""
+        out = []
+        for (kind, digest), meta in self._meta.items():
+            label = meta.get("cell") or (
+                f"{meta.get('platform', '?')}/{meta.get('workload', '?')} "
+                f"{meta.get('size_mb', '?')}MB seed={meta.get('seed', '?')}"
+            )
+            out.append(f"{kind:<8} {digest[:12]}  {label}")
+        return sorted(out)

@@ -1,0 +1,15 @@
+"""Service tests run against clean campaign-layer cache state."""
+
+import pytest
+
+from repro.core import campaign
+
+
+@pytest.fixture(autouse=True)
+def clean_campaign_state():
+    """Isolate each test: empty EM cache, no durable store bound."""
+    campaign.clear_em_cache()
+    previous = campaign.set_result_store(None)
+    yield
+    campaign.set_result_store(previous)
+    campaign.clear_em_cache()

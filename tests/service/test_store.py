@@ -1,0 +1,162 @@
+"""The durable result store (service/store.py, service/serde.py)."""
+
+import pytest
+
+from repro.core.campaign import _em_cache_key, tune_scenario
+from repro.core.methods import run_method
+from repro.core.params import workload_space
+from repro.dna.workloads import get_workload
+from repro.machines import get_platform
+from repro.machines.simulator import PlatformSimulator
+from repro.service import CellKey, ResultStore
+from repro.service.serde import encode_method_result
+from repro.service.store import STORE_SCHEMA_VERSION, em_key_digest
+
+SIZE_MB = 600.0
+ITERS = 60
+
+
+def em_reference():
+    """One real EM reference plus its campaign cache key."""
+    spec = get_platform("emil")
+    workload = get_workload("short-read")
+    space = workload_space(workload, spec)
+    sim = PlatformSimulator(spec, workload.profile(), seed=0)
+    result = run_method("EM", space, sim, SIZE_MB)
+    key = _em_cache_key(spec, workload, space, SIZE_MB, 0, None)
+    return key, result
+
+
+def scenario_cell():
+    """One real served cell: the report and its dedup identity."""
+    report = tune_scenario(
+        "short-read", "emil", method="SAM", size_mb=SIZE_MB, iterations=ITERS
+    )
+    cell = CellKey.for_request(
+        "short-read", "emil", method="SAM", size_mb=SIZE_MB, iterations=ITERS
+    )
+    return cell, report
+
+
+class TestCellKey:
+    def test_canonicalizes_names_and_size(self):
+        a = CellKey.for_request("short-read", "EMIL", size_mb=SIZE_MB)
+        b = CellKey.for_request("Short-Read", "emil", size_mb=SIZE_MB)
+        assert a == b
+        assert a.digest() == b.digest()
+        assert a.platform == "Emil"
+
+    def test_default_size_dedups_against_explicit_equal_size(self):
+        wspec = get_workload("short-read")
+        assert CellKey.for_request("short-read", "emil") == CellKey.for_request(
+            "short-read", "emil", size_mb=wspec.sequence_mb
+        )
+
+    def test_result_relevant_knobs_change_the_digest(self):
+        base = CellKey.for_request("short-read", "emil", size_mb=SIZE_MB)
+        for other in (
+            CellKey.for_request("short-read", "emil", size_mb=SIZE_MB, seed=1),
+            CellKey.for_request("short-read", "emil", size_mb=SIZE_MB, method="EM"),
+            CellKey.for_request("short-read", "emil", size_mb=SIZE_MB, refine=2.5),
+            CellKey.for_request("short-read", "fathost", size_mb=SIZE_MB),
+        ):
+            assert other.digest() != base.digest()
+
+    def test_unknown_names_are_rejected(self):
+        with pytest.raises(ValueError):
+            CellKey.for_request("no-such-workload", "emil")
+        with pytest.raises(ValueError):
+            CellKey.for_request("short-read", "no-such-platform")
+
+
+class TestEmRoundTrip:
+    def test_bit_identical_em_reference(self, tmp_path):
+        key, result = em_reference()
+        store = ResultStore(tmp_path / "s.jsonl")
+        assert store.put_em(key, result)
+        assert store.get_em(key) == result  # exact dataclass equality
+
+    def test_survives_reopen(self, tmp_path):
+        key, result = em_reference()
+        ResultStore(tmp_path / "s.jsonl").put_em(key, result)
+        reopened = ResultStore(tmp_path / "s.jsonl")
+        assert reopened.get_em(key) == result
+        assert reopened.count("em") == 1
+
+    def test_annealing_traces_are_refused(self):
+        spec = get_platform("emil")
+        workload = get_workload("short-read")
+        space = workload_space(workload, spec)
+        sim = PlatformSimulator(spec, workload.profile(), seed=0)
+        sam = run_method("SAM", space, sim, SIZE_MB, iterations=ITERS)
+        assert sam.annealing is not None
+        with pytest.raises(ValueError, match="annealing"):
+            encode_method_result(sam)
+
+    def test_key_digest_tracks_calibration_content(self):
+        spec = get_workload("short-read")
+        emil, fathost = get_platform("emil"), get_platform("fathost")
+        k1 = _em_cache_key(emil, spec, workload_space(spec, emil), SIZE_MB, 0, None)
+        k2 = _em_cache_key(fathost, spec, workload_space(spec, fathost), SIZE_MB, 0, None)
+        assert em_key_digest(k1) != em_key_digest(k2)
+        assert em_key_digest(k1) == em_key_digest(k1)
+
+
+class TestScenarioRoundTrip:
+    def test_bit_identical_served_cell(self, tmp_path):
+        cell, report = scenario_cell()
+        store = ResultStore(tmp_path / "s.jsonl")
+        assert store.put_scenario(cell, report)
+        assert store.get_scenario(cell) == report
+
+    def test_duplicate_put_is_first_one_wins(self, tmp_path):
+        cell, report = scenario_cell()
+        store = ResultStore(tmp_path / "s.jsonl")
+        assert store.put_scenario(cell, report)
+        assert not store.put_scenario(cell, report)
+        assert store.stats.duplicates == 1
+        assert store.count("scenario") == 1
+
+
+class TestDurability:
+    def test_foreign_schema_versions_are_invalidated(self, tmp_path):
+        cell, report = scenario_cell()
+        path = tmp_path / "s.jsonl"
+        ResultStore(path).put_scenario(cell, report)
+        future = ResultStore(path, schema_version=STORE_SCHEMA_VERSION + 1)
+        assert future.get_scenario(cell) is None
+        assert future.stats.invalidated == 1
+        assert len(future) == 0
+
+    def test_corrupt_lines_are_skipped_not_fatal(self, tmp_path):
+        cell, report = scenario_cell()
+        path = tmp_path / "s.jsonl"
+        ResultStore(path).put_scenario(cell, report)
+        with open(path, "a") as fh:
+            fh.write("not json at all\n")
+            fh.write('["a", "json", "array"]\n')
+        reopened = ResultStore(path)
+        assert reopened.stats.corrupt == 2
+        assert reopened.get_scenario(cell) == report
+
+    def test_refresh_sees_another_writers_entries(self, tmp_path):
+        path = tmp_path / "s.jsonl"
+        reader = ResultStore(path)
+        cell, report = scenario_cell()
+        writer = ResultStore(path)
+        writer.put_scenario(cell, report)
+        # The read-through path refreshes before declaring a miss, so
+        # the reader sees the foreign entry without an explicit call.
+        assert reader.get_scenario(cell) == report
+        assert reader.stats.hits == 1
+
+    def test_partial_trailing_line_is_not_consumed(self, tmp_path):
+        path = tmp_path / "s.jsonl"
+        cell, report = scenario_cell()
+        ResultStore(path).put_scenario(cell, report)
+        with open(path, "a") as fh:
+            fh.write('{"schema": 1, "kind": "scenario", "key": "trunca')
+        reopened = ResultStore(path)
+        assert reopened.count("scenario") == 1
+        assert reopened.stats.corrupt == 0  # never parsed a partial line
+        assert reopened.get_scenario(cell) == report

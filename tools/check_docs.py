@@ -1,0 +1,126 @@
+#!/usr/bin/env python
+"""CI docs check: every docs/*.md link and repro.* symbol must resolve.
+
+Stdlib only, and resolves symbols by *parsing* module sources with
+``ast`` rather than importing them — so it runs in the lint job with
+no package install (no NumPy).
+
+Checked, per markdown file under docs/:
+
+- relative markdown links ``[text](path)`` — the target file must
+  exist (anchors and absolute URLs are skipped);
+- inline code spans naming dotted package paths (``repro.core.params``
+  or ``repro.core.campaign.tune_scenario``) — the module file must
+  exist and, when the path goes one component past a module, that
+  component must be defined at the module's top level (def / class /
+  assignment / import);
+- inline code spans that look like repo paths (``tests/service/``,
+  ``src/repro/core/engine.py``) — the file or directory must exist.
+
+Exit status is the number of unresolved references (0 = pass).
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+import sys
+from pathlib import Path
+
+REPO = Path(__file__).resolve().parent.parent
+DOCS = REPO / "docs"
+SRC = REPO / "src"
+
+LINK = re.compile(r"\[[^\]]*\]\(([^)\s]+)\)")
+CODE_SPAN = re.compile(r"`([^`]+)`")
+DOTTED = re.compile(r"^repro(\.\w+)+$")
+REPO_PATH = re.compile(r"^(src|tests|examples|benchmarks|docs|tools)/[\w./-]*$")
+
+
+def module_file(dotted: str) -> Path | None:
+    """The source file of a dotted module path, if it is one."""
+    base = SRC / Path(*dotted.split("."))
+    if (base / "__init__.py").is_file():
+        return base / "__init__.py"
+    if base.with_suffix(".py").is_file():
+        return base.with_suffix(".py")
+    return None
+
+
+def top_level_names(path: Path) -> set[str]:
+    """Names defined (or imported) at a module's top level, via AST."""
+    tree = ast.parse(path.read_text(encoding="utf-8"))
+    names: set[str] = set()
+    for node in tree.body:
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)):
+            names.add(node.name)
+        elif isinstance(node, ast.Assign):
+            for target in node.targets:
+                if isinstance(target, ast.Name):
+                    names.add(target.id)
+        elif isinstance(node, ast.AnnAssign) and isinstance(node.target, ast.Name):
+            names.add(node.target.id)
+        elif isinstance(node, (ast.Import, ast.ImportFrom)):
+            for alias in node.names:
+                names.add(alias.asname or alias.name.split(".")[0])
+    return names
+
+
+def check_symbol(dotted: str) -> str | None:
+    """None when the dotted repro path resolves; else the problem."""
+    if module_file(dotted) is not None:
+        return None  # a module or package: done
+    parts = dotted.split(".")
+    parent, leaf = ".".join(parts[:-1]), parts[-1]
+    source = module_file(parent)
+    if source is None:
+        return f"no module `{dotted}` or `{parent}`"
+    if leaf not in top_level_names(source):
+        return f"`{leaf}` is not defined at the top level of `{parent}`"
+    return None
+
+
+def check_file(doc: Path) -> list[str]:
+    problems: list[str] = []
+    text = doc.read_text(encoding="utf-8")
+    # Strip fenced code blocks: their contents are examples, not claims.
+    prose = re.sub(r"```.*?```", "", text, flags=re.DOTALL)
+
+    for match in LINK.finditer(prose):
+        target = match.group(1)
+        if target.startswith(("http://", "https://", "#", "mailto:")):
+            continue
+        resolved = (doc.parent / target.split("#")[0]).resolve()
+        if not resolved.exists():
+            problems.append(f"broken link: ({target})")
+
+    for match in CODE_SPAN.finditer(prose):
+        span = match.group(1).strip()
+        if DOTTED.match(span):
+            problem = check_symbol(span)
+            if problem is not None:
+                problems.append(f"unresolved symbol `{span}`: {problem}")
+        elif REPO_PATH.match(span):
+            if not (REPO / span.rstrip("/")).exists():
+                problems.append(f"missing repo path `{span}`")
+    return problems
+
+
+def main() -> int:
+    docs = sorted(DOCS.glob("*.md"))
+    if not docs:
+        print("error: no markdown files under docs/", file=sys.stderr)
+        return 1
+    failures = 0
+    for doc in docs:
+        problems = check_file(doc)
+        status = "ok" if not problems else f"{len(problems)} problem(s)"
+        print(f"{doc.relative_to(REPO)}: {status}")
+        for problem in problems:
+            print(f"  - {problem}", file=sys.stderr)
+        failures += len(problems)
+    return failures
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

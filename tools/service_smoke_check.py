@@ -1,0 +1,69 @@
+#!/usr/bin/env python
+"""CI service smoke assertion: duplicate submits share one evaluation.
+
+Input: two files of ``python -m repro submit --json`` output for the
+*same* request, submitted one after the other against one server.
+Asserts the service's core contract:
+
+- the first submit evaluated its cell (``source=evaluate``),
+- the second was answered from the durable store (``source=store``)
+  with **zero** additional evaluations,
+- both served payloads are identical.
+
+Usage: service_smoke_check.py FIRST.json SECOND.json
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+
+
+def load_events(path: str) -> list[dict]:
+    with open(path, encoding="utf-8") as fh:
+        return [json.loads(line) for line in fh if line.strip()]
+
+
+def terminal_cells(events: list[dict]) -> list[dict]:
+    return [
+        e
+        for e in events
+        if e.get("event") == "cell" and e.get("status") != "start"
+    ]
+
+
+def the_done_cell(events: list[dict], label: str) -> dict:
+    cells = terminal_cells(events)
+    if len(cells) != 1:
+        raise SystemExit(f"{label}: expected exactly one cell, got {len(cells)}")
+    (cell,) = cells
+    if cell["status"] != "done":
+        raise SystemExit(f"{label}: cell did not complete: {cell}")
+    return cell
+
+
+def main() -> int:
+    if len(sys.argv) != 3:
+        raise SystemExit(__doc__)
+    first = the_done_cell(load_events(sys.argv[1]), "first submit")
+    second = the_done_cell(load_events(sys.argv[2]), "second submit")
+
+    if first["source"] != "evaluate":
+        raise SystemExit(f"first submit should evaluate, was {first['source']!r}")
+    if second["source"] != "store":
+        raise SystemExit(
+            f"duplicate submit should be served from the store with zero "
+            f"evaluations, was {second['source']!r}"
+        )
+    if first["payload"] != second["payload"]:
+        raise SystemExit("served payloads differ between duplicate submits")
+
+    print(
+        "service smoke ok: one evaluation, duplicate served from the store, "
+        "payloads identical"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())
