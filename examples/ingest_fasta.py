@@ -1,0 +1,57 @@
+#!/usr/bin/env python
+"""Ingest a real FASTA file into the workload registry and tune it.
+
+The paper's workload is a hard-wired DNA motif scan; this example shows
+the generalized path: measure a FASTA sample (alphabet distribution,
+GC bias, match density against a motif panel), derive a validated
+WorkloadSpec plus a dinucleotide-shuffled background pair, register
+both as first-class `fasta:*` workloads, and tune them like any
+built-in scenario — all through the unified TuningOptions object.
+
+Run:  python examples/ingest_fasta.py
+"""
+
+from repro import TuningOptions, tune_scenario
+from repro.dna import BUNDLED_FASTA, ingest_fasta, register_ingest
+
+
+def main() -> None:
+    report = ingest_fasta(BUNDLED_FASTA, shuffle_seed=0)
+
+    stats = report.stats
+    print(f"Ingested {BUNDLED_FASTA.name}: {stats.n_records} records, "
+          f"{stats.n_bases} bases, GC {stats.gc_content:.3f}")
+    print(f"Scan panel: {len(report.patterns)} patterns, effective "
+          f"alphabet {report.alphabet_size}, "
+          f"{report.automaton_states} measured automaton states")
+    print(f"Match density {report.match_density:.2e} vs shuffled "
+          f"background {report.background_density:.2e} "
+          f"({report.enrichment():.2f}x enrichment)\n")
+
+    # Determinism: same file + same seed => byte-identical derived specs.
+    again = ingest_fasta(BUNDLED_FASTA, shuffle_seed=0)
+    assert again.workload == report.workload
+    assert again.background == report.background
+
+    positive, background = register_ingest(report)
+    print(f"Registered derived workloads: {positive!r}, {background!r}\n")
+
+    # Tune the 5 kb sample as a stand-in for a 3 GB input: size_mb
+    # rescales the cell while the measured densities stay authoritative.
+    options = TuningOptions(engine="cached+batched", batch_size=64)
+    for key in (positive, background):
+        cell = tune_scenario(
+            key, "emil", size_mb=3000, iterations=400, seed=0, options=options,
+        )
+        r = cell.report
+        print(f"{key:34s} {r.measured_time:9.4f}s measured "
+              f"({r.quality_vs_em:.2f}x vs EM optimum, "
+              f"{r.speedup_vs_host_only:.2f}x vs host-only)")
+
+    print("\nThe positive set and its shuffled background tune as two")
+    print("independent cells: the discriminative signal is the match-")
+    print("density gap the ingest step measured, not a modelling guess.")
+
+
+if __name__ == "__main__":
+    main()

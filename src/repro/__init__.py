@@ -55,8 +55,10 @@ from .core import (
     ScenarioReport,
     SimulatedAnnealing,
     SystemConfiguration,
+    TuningOptions,
     TuningOutcome,
     WorkDistributionTuner,
+    resolve_options,
     platform_space,
     run_em,
     run_eml,
@@ -69,10 +71,17 @@ from .core import (
     workload_space,
 )
 from .dna import (
+    BUNDLED_FASTA,
     DNASequenceAnalysis,
+    IngestReport,
     WorkloadSpec,
+    derived_key,
     get_workload,
+    ingest_fasta,
+    ingest_fasta_string,
+    register_ingest,
     register_workload,
+    resolve_workload,
     workload_names,
 )
 from .machines import (
@@ -84,6 +93,7 @@ from .machines import (
     get_platform,
     platform_names,
     register_platform,
+    resolve_platform,
 )
 from .ml import BoostedDecisionTreeRegressor
 
@@ -97,8 +107,10 @@ __all__ = [
     "PlatformTuneReport",
     "SimulatedAnnealing",
     "SystemConfiguration",
+    "TuningOptions",
     "TuningOutcome",
     "WorkDistributionTuner",
+    "resolve_options",
     "MatrixResult",
     "ScenarioReport",
     "platform_space",
@@ -111,10 +123,17 @@ __all__ = [
     "tune_matrix",
     "tune_platform",
     "tune_scenario",
+    "BUNDLED_FASTA",
     "DNASequenceAnalysis",
+    "IngestReport",
     "WorkloadSpec",
+    "derived_key",
     "get_workload",
+    "ingest_fasta",
+    "ingest_fasta_string",
+    "register_ingest",
     "register_workload",
+    "resolve_workload",
     "workload_names",
     "EMIL",
     "PerfProfile",
@@ -124,6 +143,7 @@ __all__ = [
     "get_platform",
     "platform_names",
     "register_platform",
+    "resolve_platform",
     "BoostedDecisionTreeRegressor",
     "__version__",
 ]

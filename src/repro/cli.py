@@ -3,9 +3,9 @@
 Artifacts: ``fig2``, ``fig5``, ``fig6``, ``fig7``, ``fig8``, ``table2``,
 ``table4``, ``table5``, ``table6``, ``table7``, ``table8``, ``table9``,
 ``fig9``, ``summary``, ``tune``, ``platforms``, ``workloads``,
-``campaign``, ``matrix``, ``serve``, ``submit``, or ``all``.
-Everything prints as plain-text tables mirroring the paper's figures
-and tables.
+``ingest``, ``campaign``, ``matrix``, ``serve``, ``submit``, or
+``all``.  Everything prints as plain-text tables mirroring the paper's
+figures and tables.
 
 ``tune`` runs one optimization method end-to-end and prints the
 suggested system configuration; ``--engine``/``--batch-size`` select
@@ -25,6 +25,13 @@ crosses the workload registry with the platform registry and prints a
 per-cell comparison table (see :mod:`repro.core.campaign`).
 ``--budget-scale small`` shrinks ``matrix`` to a 3x3 subset with a
 capped iteration budget — the CI smoke configuration.
+
+``ingest`` measures a FASTA file (``--fasta``, default: the bundled
+sample) into a positive/shuffled-background workload pair
+(:mod:`repro.dna.ingest`), registers both under ``fasta:<name>`` keys,
+and prints the measured statistics; ``--tune`` additionally tunes both
+cells on ``--platform`` — the DREME-style discriminative motif-scan
+scenario end-to-end.
 
 ``serve`` runs the long-lived campaign server of
 :mod:`repro.service` on ``--bind``/``--port`` with a durable
@@ -65,8 +72,8 @@ ARTIFACTS = (
     "fig2", "fig5", "fig6", "fig7", "fig8", "fig9",
     "table1", "table2", "table3",
     "table4", "table5", "table6", "table7", "table8", "table9",
-    "summary", "tune", "platforms", "workloads", "campaign", "matrix",
-    "serve", "submit", "all",
+    "summary", "tune", "platforms", "workloads", "ingest", "campaign",
+    "matrix", "serve", "submit", "all",
 )
 
 #: The ``--budget-scale small`` matrix subset: three workloads spanning
@@ -293,6 +300,117 @@ def _split_csv(value: str | None) -> tuple[str, ...] | None:
     return tuple(v.strip() for v in value.split(",") if v.strip())
 
 
+def _cli_options(args, *, engine_default: str | None = "cached+batched"):
+    """One :class:`~repro.core.options.TuningOptions` from the CLI flags.
+
+    The single place the CLI's execution flags map onto the unified
+    options object; ``engine_default`` preserves the historical per-
+    artifact default (campaign/matrix always batched, ``tune`` direct).
+    """
+    from .core.options import TuningOptions
+
+    return TuningOptions(
+        engine=args.engine if args.engine is not None else engine_default,
+        batch_size=args.batch_size,
+        shards=args.shards,
+        refine=args.refine,
+        processes=args.processes,
+    )
+
+
+def _run_ingest(args, platform) -> int:
+    """Measure a FASTA into a registered workload pair; optionally tune it."""
+    from .core.campaign import tune_scenario
+    from .dna.ingest import (
+        BUNDLED_FASTA,
+        DEFAULT_SCAN_PATTERNS,
+        ingest_fasta,
+        register_ingest,
+    )
+
+    path = args.fasta if args.fasta is not None else BUNDLED_FASTA
+    patterns = _split_csv(args.patterns) or DEFAULT_SCAN_PATTERNS
+    try:
+        report = ingest_fasta(
+            path,
+            name=args.name,
+            patterns=patterns,
+            sequence_mb=args.size_mb,
+            shuffle_seed=args.shuffle_seed,
+        )
+        positive_key, background_key = register_ingest(report)
+    except (OSError, ValueError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+    stats = report.stats
+    comp = stats.composition
+    print(f"ingested {path}:")
+    print(f"  records            : {stats.n_records} "
+          f"({', '.join(report.headers)})")
+    print(f"  bases              : {stats.n_bases} ({stats.megabytes:g} MB)")
+    print(f"  GC content         : {stats.gc_content:.3f} "
+          f"(A={comp[0]:.3f} C={comp[1]:.3f} G={comp[2]:.3f} T={comp[3]:.3f})")
+    print(f"  unknown symbols    : {stats.unknown_rate:.4f}")
+    histogram = ", ".join(f"{n}x{length}" for length, n in report.length_histogram)
+    print(f"  patterns           : {len(report.patterns)} (lengths {histogram})")
+    print(f"  effective alphabet : {report.alphabet_size}")
+    print(f"  automaton states   : {report.automaton_states}")
+    print(f"  match density      : {report.match_density:.6f} /char")
+    print(f"  background density : {report.background_density:.6f} /char "
+          f"(dinucleotide shuffle, seed {report.shuffle_seed})")
+    print(f"  motif enrichment   : {report.enrichment():.2f}x")
+    print()
+    rows = [
+        (spec.name, f"{spec.sequence_mb:g}", spec.alphabet_size,
+         f"{spec.match_density:.2g}", spec.automaton_states,
+         f"{spec.state_sharing:.3f}", spec.transfer_overlap)
+        for spec in (report.workload, report.background)
+    ]
+    print(render_table(
+        ["Registered workload", "Input [MB]", "Alphabet", "Matches/char",
+         "States", "Sharing", "Overlap"],
+        rows,
+        title="Derived workload pair (first-class matrix cells)",
+    ))
+    print()
+    if not args.tune:
+        return 0
+    options = _cli_options(args).for_cell()
+    method = (args.method or "SAM").upper()
+    tuned_rows = []
+    try:
+        for key in (positive_key, background_key):
+            cell = tune_scenario(
+                key,
+                platform,
+                method=method,
+                iterations=args.iterations,
+                seed=args.seed,
+                options=options,
+            )
+            tuned_rows.append((
+                cell.workload,
+                cell.platform,
+                cell.config.describe(),
+                round(cell.report.measured_time, 4),
+                f"{cell.optimum_distance:.3f}x",
+                f"{cell.speedup_vs_host_only:.2f}x",
+                cell.report.experiments,
+            ))
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    print(render_table(
+        ["Workload", "Platform", "Best configuration", "Time [s]",
+         "vs EM", "vs host", "Experiments"],
+        tuned_rows,
+        title=f"Discriminative scan cells tuned with {method}",
+    ))
+    print()
+    return 0
+
+
 def _run_campaign(workload, args) -> int:
     """One method across the registered fleet -> comparison table."""
     from .core.campaign import tune_campaign
@@ -312,11 +430,7 @@ def _run_campaign(workload, args) -> int:
             iterations=args.iterations,
             seed=args.seed,
             workload=workload,
-            engine=args.engine if args.engine is not None else "cached+batched",
-            batch_size=args.batch_size,
-            shards=args.shards,
-            refine=args.refine,
-            processes=args.processes,
+            options=_cli_options(args),
         )
     except ValueError as exc:
         print(f"error: {exc}", file=sys.stderr)
@@ -357,11 +471,7 @@ def _run_matrix(args) -> int:
             size_mb=args.size_mb,
             iterations=iterations,
             seed=args.seed,
-            engine=args.engine if args.engine is not None else "cached+batched",
-            batch_size=args.batch_size,
-            shards=args.shards,
-            refine=args.refine,
-            processes=args.processes,
+            options=_cli_options(args),
         )
     except ValueError as exc:
         print(f"error: {exc}", file=sys.stderr)
@@ -581,6 +691,30 @@ def main(argv: list[str] | None = None) -> int:
         "refine around the incumbent down to this step",
     )
     parser.add_argument(
+        "--fasta", default=None,
+        help="`ingest`: FASTA file to measure (default: the bundled "
+        "sample promoter set)",
+    )
+    parser.add_argument(
+        "--name", default=None,
+        help="`ingest`: registry name for the derived pair — keys become "
+        "fasta:<name> and fasta:<name>:shuffled (default: the file stem)",
+    )
+    parser.add_argument(
+        "--patterns", default=None,
+        help="`ingest`: comma-separated IUPAC scan patterns "
+        "(default: the built-in exact motifs plus degenerate consensi)",
+    )
+    parser.add_argument(
+        "--shuffle-seed", type=int, default=0,
+        help="`ingest`: seed of the dinucleotide-shuffled background",
+    )
+    parser.add_argument(
+        "--tune", action="store_true",
+        help="`ingest`: also tune the ingested positive/background pair "
+        "on --platform (end-to-end discriminative scan scenario)",
+    )
+    parser.add_argument(
         "--bind", default="127.0.0.1",
         help="`serve`: interface to bind the campaign server on",
     )
@@ -646,6 +780,11 @@ def main(argv: list[str] | None = None) -> int:
         _print_workloads()
         print(f"[done in {time.time() - t0:.1f}s]", file=sys.stderr)
         return 0
+
+    if want == "ingest":
+        code = _run_ingest(args, platform)
+        print(f"[done in {time.time() - t0:.1f}s]", file=sys.stderr)
+        return code
 
     if want == "campaign":
         code = _run_campaign(workload, args)

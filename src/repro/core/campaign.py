@@ -43,11 +43,12 @@ from ..dna.workloads import (
     workload_names,
 )
 from ..machines.perfmodel import DNA_SCAN, WorkloadProfile
-from ..machines.registry import get_platform, platform_names
+from ..machines.registry import get_platform, platform_names, resolve_platform
 from ..machines.simulator import PlatformSimulator
 from ..machines.spec import PlatformSpec
-from .engine import EvaluationEngine, make_engine
+from .engine import EvaluationEngine
 from .methods import run_em, run_method
+from .options import UNSET, TuningOptions, resolve_options
 from .params import (
     SystemConfiguration,
     device_only_config,
@@ -316,10 +317,11 @@ def tune_platform(
     iterations: int = 1000,
     seed: int = 0,
     workload: WorkloadProfile | WorkloadSpec | str = DNA_SCAN,
-    engine: str | EvaluationEngine | None = "cached+batched",
-    batch_size: int = 64,
-    shards: int = 1,
-    refine: float | None = None,
+    options: TuningOptions | None = None,
+    engine=UNSET,
+    batch_size=UNSET,
+    shards=UNSET,
+    refine=UNSET,
 ) -> PlatformTuneReport:
     """Tune one platform and compare against its enumeration optimum.
 
@@ -332,13 +334,24 @@ def tune_platform(
     cached per (platform, workload, space, size, seed, refine) cell —
     scoring the same cell with several methods re-walks the space
     exactly once — so the reported ``experiments`` count only what the
-    method itself consumed.  ``shards`` / ``refine`` are the
-    multi-device enumeration knobs (see
-    :func:`~repro.core.enumeration.enumerate_best_separable`): they
-    apply to the EM reference and to the EM/EML methods, sharded
-    serially here so campaign fan-out never nests process pools.
+    method itself consumed.
+
+    Execution knobs arrive as one :class:`~repro.core.options.TuningOptions`
+    (``options=``); the ``engine`` / ``batch_size`` / ``shards`` /
+    ``refine`` keywords remain as a compatibility layer — passing one
+    explicitly overrides the corresponding ``options`` field (see
+    :func:`~repro.core.options.resolve_options`).  ``shards`` /
+    ``refine`` are the multi-device enumeration knobs (see
+    :func:`~repro.core.enumeration.enumerate_best_separable`); a
+    direct call with ``options.processes`` set fans the enumeration
+    *shards* out (campaigns strip it via
+    :meth:`~repro.core.options.TuningOptions.for_cell` so cell fan-out
+    never nests pools).
     """
-    spec = get_platform(platform)
+    opts = resolve_options(
+        options, engine=engine, batch_size=batch_size, shards=shards, refine=refine
+    )
+    spec = resolve_platform(platform)
     method = method.upper()
     if method in ML_METHODS:
         spec.require_device(
@@ -349,10 +362,9 @@ def tune_platform(
         space = platform_space(spec)
     else:
         space = workload_space(workload_spec, spec)
-    if isinstance(engine, str):
-        engine = make_engine(engine, batch_size=batch_size)
+    engine_obj = opts.engine_instance()
 
-    em = _em_reference(spec, workload, space, size_mb, seed, shards, refine)
+    em = _em_reference(spec, workload, space, size_mb, seed, opts.shards, opts.refine)
 
     sim = PlatformSimulator(spec, workload, seed=seed)
     ml = None
@@ -377,9 +389,11 @@ def tune_platform(
         ml=ml,
         iterations=iterations,
         seed=seed,
-        engine=engine,
-        shards=shards,
-        refine=refine,
+        engine=engine_obj,
+        shards=opts.shards,
+        refine=opts.refine,
+        processes=opts.processes,
+        start_method=opts.start_method,
     )
 
     baseline_sim = PlatformSimulator(spec, workload, seed=seed)
@@ -394,7 +408,7 @@ def tune_platform(
             device_cfg.device_threads, device_cfg.device_affinity, size_mb
         )
 
-    stats = engine.stats if isinstance(engine, EvaluationEngine) else None
+    stats = engine_obj.stats if isinstance(engine_obj, EvaluationEngine) else None
     return PlatformTuneReport(
         platform=spec.name,
         description=spec.description,
@@ -429,16 +443,19 @@ def _seed_and_diff_cache(seed_cache: dict[tuple, "MethodResult"]):
 def _tune_platform_worker(
     args: tuple,
 ) -> tuple[PlatformTuneReport, dict[tuple, "MethodResult"]]:
-    """Picklable fan-out target: platforms resolve by name in the worker.
+    """Picklable fan-out target for campaign cells.
 
+    Jobs carry the *resolved* :class:`~repro.machines.spec.PlatformSpec`
+    (not a registry name): worker processes start from a fresh registry,
+    so runtime-registered entries would not resolve by name there.
     Returns the report plus any EM-cache entries this worker computed
     fresh, so the parent can merge them back into its authoritative
     cache (workers are throwaway processes; without the merge, a
     repeated campaign would re-run every EM reference).
     """
-    name, kwargs, seed_cache = args
+    platform, kwargs, seed_cache = args
     fresh_entries = _seed_and_diff_cache(seed_cache)
-    report = tune_platform(name, **kwargs)
+    report = tune_platform(platform, **kwargs)
     return report, fresh_entries()
 
 
@@ -450,12 +467,13 @@ def tune_campaign(
     iterations: int = 1000,
     seed: int = 0,
     workload: WorkloadProfile | WorkloadSpec | str = DNA_SCAN,
-    engine: str | None = "cached+batched",
-    batch_size: int = 64,
-    shards: int = 1,
-    refine: float | None = None,
-    processes: int | None = None,
-    start_method: str | None = None,
+    options: TuningOptions | None = None,
+    engine=UNSET,
+    batch_size=UNSET,
+    shards=UNSET,
+    refine=UNSET,
+    processes=UNSET,
+    start_method=UNSET,
 ) -> CampaignResult:
     """Run one tuning method across a fleet of registered platforms.
 
@@ -464,18 +482,37 @@ def tune_campaign(
     train a device predictor).  ``workload`` accepts a profile, a
     registered workload name, or a :class:`~repro.dna.workloads.WorkloadSpec`
     (see :func:`tune_platform`); use :func:`tune_matrix` to cross the
-    whole workload registry with the fleet.  ``engine`` is an engine
-    *name*; each platform gets a fresh instance so its batch/cache
-    statistics are per-platform.  ``shards`` / ``refine`` are the
-    multi-device enumeration knobs (see :func:`tune_platform`).
-    ``processes > 1`` scores platforms concurrently over a process pool
-    with identical results; ``start_method`` pins the pool's start
-    method (default: safest available, see
+    whole workload registry with the fleet.
+
+    Execution knobs arrive as one :class:`~repro.core.options.TuningOptions`;
+    the individual keywords remain as a compatibility layer (explicitly
+    passed keywords override ``options`` fields).  An ``engine`` *name*
+    gives each platform a fresh instance so batch/cache statistics stay
+    per-platform; an :class:`~repro.core.engine.EvaluationEngine`
+    instance is shared across serial cells (with process fan-out each
+    worker gets a pickled copy, so its statistics stay in the worker).
+    ``options.processes > 1`` scores platforms concurrently over a
+    process pool with identical results; ``options.start_method`` pins
+    the pool's start method (default: safest available, see
     :data:`~repro.core.pool.START_METHOD_PREFERENCE`).  Workers are
     pre-seeded with the parent's EM-reference cache and their fresh
     entries are merged back, so repeated campaigns never re-walk a cell.
     """
+    opts = resolve_options(
+        options,
+        engine=engine,
+        batch_size=batch_size,
+        shards=shards,
+        refine=refine,
+        processes=processes,
+        start_method=start_method,
+    )
     method = method.upper()
+    if isinstance(workload, str):
+        # Resolve once in the parent: worker processes start from a
+        # fresh registry, where runtime-registered keys (e.g. ingested
+        # ``fasta:*`` workloads) would not resolve by name.
+        workload = get_workload(workload)
     if platforms is None:
         names = list(platform_names())
         if method in ML_METHODS:
@@ -484,21 +521,19 @@ def tune_campaign(
         names = [n for n in platforms]
     if not names:
         raise ValueError("campaign needs at least one platform")
+    specs = [resolve_platform(name) for name in names]
     kwargs = dict(
         method=method,
         size_mb=size_mb,
         iterations=iterations,
         seed=seed,
         workload=workload,
-        engine=engine,
-        batch_size=batch_size,
-        shards=shards,
-        refine=refine,
+        options=opts.for_cell(),
     )
-    jobs = [(name, kwargs, _em_cache_snapshot()) for name in names]
-    if processes is not None and processes > 1 and len(jobs) > 1:
-        context = pool_context(start_method)
-        with context.Pool(min(processes, len(jobs))) as pool:
+    jobs = [(spec, kwargs, _em_cache_snapshot()) for spec in specs]
+    if opts.processes is not None and opts.processes > 1 and len(jobs) > 1:
+        context = pool_context(opts.start_method)
+        with context.Pool(min(opts.processes, len(jobs))) as pool:
             outcomes = pool.map(_tune_platform_worker, jobs)
     else:
         outcomes = [_tune_platform_worker(job) for job in jobs]
@@ -635,19 +670,24 @@ def tune_scenario(
     size_mb: float | None = None,
     iterations: int = 1000,
     seed: int = 0,
-    engine: str | EvaluationEngine | None = "cached+batched",
-    batch_size: int = 64,
-    shards: int = 1,
-    refine: float | None = None,
+    options: TuningOptions | None = None,
+    engine=UNSET,
+    batch_size=UNSET,
+    shards=UNSET,
+    refine=UNSET,
 ) -> ScenarioReport:
     """Tune one (workload, platform) cell.
 
     ``size_mb`` defaults to the workload's own input scale
     (``WorkloadSpec.sequence_mb``) — a short-read archive is tuned at
     300 MB, a wheat genome at 24 GB — so the matrix compares scenarios,
-    not one arbitrary size.  ``shards`` / ``refine`` are the
-    multi-device enumeration knobs (see :func:`tune_platform`).
+    not one arbitrary size.  Execution knobs arrive as one
+    :class:`~repro.core.options.TuningOptions`; the individual keywords
+    remain as a compatibility layer (see :func:`tune_platform`).
     """
+    opts = resolve_options(
+        options, engine=engine, batch_size=batch_size, shards=shards, refine=refine
+    )
     spec = get_workload(workload)
     size = float(size_mb) if size_mb is not None else spec.sequence_mb
     report = tune_platform(
@@ -657,10 +697,7 @@ def tune_scenario(
         iterations=iterations,
         seed=seed,
         workload=spec,
-        engine=engine,
-        batch_size=batch_size,
-        shards=shards,
-        refine=refine,
+        options=opts,
     )
     return ScenarioReport(workload=spec.name, size_mb=size, report=report)
 
@@ -668,10 +705,13 @@ def tune_scenario(
 def _tune_scenario_worker(
     args: tuple,
 ) -> tuple[ScenarioReport, dict[tuple, "MethodResult"]]:
-    """Picklable fan-out target: scenarios resolve by name in the worker.
+    """Picklable fan-out target for matrix cells.
 
-    Same pre-seed / merge-back cache protocol as
-    :func:`_tune_platform_worker`.
+    Jobs carry the *resolved* workload and platform specs (not registry
+    names) so runtime-registered entries — ingested ``fasta:*``
+    workloads above all — tune identically through worker processes,
+    whose fresh registries could not resolve them by name.  Same
+    pre-seed / merge-back cache protocol as :func:`_tune_platform_worker`.
     """
     workload, platform, kwargs, seed_cache = args
     fresh_entries = _seed_and_diff_cache(seed_cache)
@@ -687,26 +727,45 @@ def tune_matrix(
     size_mb: float | None = None,
     iterations: int = 1000,
     seed: int = 0,
-    engine: str | None = "cached+batched",
-    batch_size: int = 64,
-    shards: int = 1,
-    refine: float | None = None,
-    processes: int | None = None,
-    start_method: str | None = None,
+    options: TuningOptions | None = None,
+    engine=UNSET,
+    batch_size=UNSET,
+    shards=UNSET,
+    refine=UNSET,
+    processes=UNSET,
+    start_method=UNSET,
 ) -> MatrixResult:
     """Run one tuning method over a workload x platform scenario matrix.
 
     ``workloads`` / ``platforms`` default to the full registries (minus
-    accelerator-less platforms for ML-backed methods).  Every cell gets
-    a fresh substrate, a scenario-fitted space, and its own engine
-    instance (``engine`` is an engine *name*), so per-cell statistics
-    and budgets stay clean; ``processes > 1`` fans whole cells out over
-    a process pool with identical results, with the same start-method
-    selection and EM-cache merge-back protocol as :func:`tune_campaign`.
-    ``shards`` / ``refine`` are the multi-device enumeration knobs (see
+    accelerator-less platforms for ML-backed methods); both axes accept
+    registry names or resolved specs, including runtime-registered
+    ingested workloads (``fasta:*``).  Every cell gets a fresh
+    substrate, a scenario-fitted space, and — when ``engine`` names an
+    engine — its own engine instance, so per-cell statistics and
+    budgets stay clean; an explicit
+    :class:`~repro.core.engine.EvaluationEngine` instance is instead
+    shared across serial cells, aggregating its statistics (with
+    process fan-out each worker gets a pickled copy).
+
+    Execution knobs arrive as one :class:`~repro.core.options.TuningOptions`;
+    the individual keywords remain as a compatibility layer.
+    ``options.processes > 1`` fans whole cells out over a process pool
+    with identical results, with the same start-method selection and
+    EM-cache merge-back protocol as :func:`tune_campaign`.  ``shards``
+    / ``refine`` are the multi-device enumeration knobs (see
     :func:`tune_platform`).  ``size_mb`` overrides the per-workload
     input scale for every cell (mostly useful in tests).
     """
+    opts = resolve_options(
+        options,
+        engine=engine,
+        batch_size=batch_size,
+        shards=shards,
+        refine=refine,
+        processes=processes,
+        start_method=start_method,
+    )
     method = method.upper()
     wnames = list(workloads) if workloads is not None else list(workload_names())
     if platforms is None:
@@ -717,20 +776,19 @@ def tune_matrix(
         pnames = list(platforms)
     if not wnames or not pnames:
         raise ValueError("matrix needs at least one workload and one platform")
+    wspecs = [get_workload(w) for w in wnames]
+    pspecs = [resolve_platform(p) for p in pnames]
     kwargs = dict(
         method=method,
         size_mb=size_mb,
         iterations=iterations,
         seed=seed,
-        engine=engine,
-        batch_size=batch_size,
-        shards=shards,
-        refine=refine,
+        options=opts.for_cell(),
     )
-    jobs = [(w, p, kwargs, _em_cache_snapshot()) for w in wnames for p in pnames]
-    if processes is not None and processes > 1 and len(jobs) > 1:
-        context = pool_context(start_method)
-        with context.Pool(min(processes, len(jobs))) as pool:
+    jobs = [(w, p, kwargs, _em_cache_snapshot()) for w in wspecs for p in pspecs]
+    if opts.processes is not None and opts.processes > 1 and len(jobs) > 1:
+        context = pool_context(opts.start_method)
+        with context.Pool(min(opts.processes, len(jobs))) as pool:
             outcomes = pool.map(_tune_scenario_worker, jobs)
     else:
         outcomes = [_tune_scenario_worker(job) for job in jobs]
@@ -740,7 +798,7 @@ def tune_matrix(
         reports.append(report)
     return MatrixResult(
         method=method,
-        workloads=tuple(get_workload(w).name for w in wnames),
-        platforms=tuple(get_platform(p).name for p in pnames),
+        workloads=tuple(w.name for w in wspecs),
+        platforms=tuple(p.name for p in pspecs),
         reports=tuple(reports),
     )

@@ -1,0 +1,137 @@
+"""One frozen options object for the execution knobs of every tuner entry.
+
+Historically ``engine`` / ``batch_size`` / ``shards`` / ``refine`` /
+``processes`` / ``start_method`` were hand-copied through
+:func:`~repro.core.campaign.tune_platform`,
+:func:`~repro.core.campaign.tune_scenario`,
+:func:`~repro.core.campaign.tune_campaign`,
+:func:`~repro.core.campaign.tune_matrix`, the CLI, and the service — six
+keyword lists that had to be kept in sync by hand.  :class:`TuningOptions`
+consolidates them: every entry point accepts ``options=`` (and the CLI
+builds one), while the old keywords remain as a thin compatibility layer
+— an explicitly passed legacy keyword overrides the corresponding
+``options`` field, so existing call sites keep working unchanged.
+
+The split of responsibilities is deliberate:
+
+* ``engine`` / ``batch_size`` / ``refine`` change *what is computed*
+  (engine statistics are embedded in reports; ``refine`` changes the
+  enumerated fidelity) and therefore belong to the request identity
+  (:meth:`repro.service.store.CellKey.for_request` consumes these).
+* ``shards`` / ``processes`` / ``start_method`` change only *how* the
+  computation is executed — results are bit-identical by construction —
+  so they never enter cache keys or the store.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+from .engine import EvaluationEngine
+
+#: Sentinel distinguishing "keyword not passed" from "passed its default"
+#: in the compatibility layer of the ``tune_*`` entry points.
+UNSET = object()
+
+
+@dataclass(frozen=True)
+class TuningOptions:
+    """Execution knobs shared by all tuning entry points.
+
+    Attributes
+    ----------
+    engine:
+        Evaluation backend: an engine *name* (``serial`` / ``cached`` /
+        ``batched`` / ``cached+batched``, see
+        :func:`~repro.core.engine.make_engine`), an
+        :class:`~repro.core.engine.EvaluationEngine` instance (shared
+        across cells — its statistics then aggregate), or ``None`` to
+        call evaluators directly.
+    batch_size:
+        Configurations per batch when ``engine`` names a batched engine.
+    shards:
+        Share-simplex shard count for multi-device enumeration
+        (bit-identical for any count, see
+        :func:`~repro.core.enumeration.enumerate_best_separable`).
+    refine:
+        Coarse-to-fine target share step [%] for multi-device
+        enumeration, or ``None`` for the coarse grid only.
+    processes:
+        Fan campaign/matrix cells (or enumeration shards) out over this
+        many worker processes; ``None``/``1`` runs serially.
+    start_method:
+        Pool start method override (default: safest available, see
+        :data:`~repro.core.pool.START_METHOD_PREFERENCE`).
+    """
+
+    engine: str | EvaluationEngine | None = "cached+batched"
+    batch_size: int = 64
+    shards: int = 1
+    refine: float | None = None
+    processes: int | None = None
+    start_method: str | None = None
+
+    def __post_init__(self) -> None:
+        if self.batch_size < 1:
+            raise ValueError(f"batch_size must be >= 1, got {self.batch_size}")
+        if self.shards < 1:
+            raise ValueError(f"shards must be >= 1, got {self.shards}")
+        if self.refine is not None and self.refine <= 0:
+            raise ValueError(f"refine must be positive, got {self.refine}")
+        if self.processes is not None and self.processes < 1:
+            raise ValueError(f"processes must be >= 1, got {self.processes}")
+
+    def for_cell(self) -> "TuningOptions":
+        """The per-cell view of fleet-level options.
+
+        Campaigns and matrices consume ``processes`` / ``start_method``
+        at the fan-out level; the per-cell computation must not nest
+        another pool, so cells receive this stripped copy.
+        """
+        if self.processes is None and self.start_method is None:
+            return self
+        return replace(self, processes=None, start_method=None)
+
+    def engine_instance(self) -> EvaluationEngine | None:
+        """Materialize ``engine`` (names become fresh instances).
+
+        Callers that want per-cell engine statistics call this once per
+        cell; an explicit :class:`~repro.core.engine.EvaluationEngine`
+        instance is returned as-is (deliberately shared).
+        """
+        if isinstance(self.engine, str):
+            from .engine import make_engine
+
+            return make_engine(self.engine, batch_size=self.batch_size)
+        return self.engine
+
+    @property
+    def engine_name(self) -> str | None:
+        """The engine's registry name, or ``None`` for direct evaluation.
+
+        Engine *instances* report their class-derived name so request
+        identities (:class:`~repro.service.store.CellKey`) stay stable
+        whether the caller passed a name or a pre-built instance.
+        """
+        if self.engine is None or isinstance(self.engine, str):
+            return self.engine
+        return type(self.engine).__name__
+
+
+def resolve_options(
+    options: TuningOptions | None = None,
+    **overrides: object,
+) -> TuningOptions:
+    """Merge an options object with explicitly passed legacy keywords.
+
+    ``overrides`` values equal to :data:`UNSET` are dropped (the keyword
+    was not passed); everything else overrides the corresponding field
+    of ``options`` (or of a default :class:`TuningOptions`).  This is
+    the whole compatibility layer: entry points declare their legacy
+    keywords with ``UNSET`` defaults and forward them here.
+    """
+    base = options if options is not None else TuningOptions()
+    explicit = {k: v for k, v in overrides.items() if v is not UNSET}
+    if not explicit:
+        return base
+    return replace(base, **explicit)

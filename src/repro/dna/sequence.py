@@ -120,6 +120,42 @@ def read_fasta(path: str | Path) -> tuple[str, np.ndarray]:
     return header, encode(b"".join(chunks))
 
 
+def _parse_fasta_records(lines) -> list[tuple[str, np.ndarray]]:
+    """Shared multi-record FASTA parser over an iterable of byte lines."""
+    records: list[tuple[str, list[bytes]]] = []
+    for line in lines:
+        line = line.strip()
+        if not line:
+            continue
+        if line.startswith(b">"):
+            header = line[1:].decode("ascii", errors="replace")
+            records.append((header, []))
+            continue
+        if not records:
+            raise ValueError("not a FASTA input (sequence before any '>' header)")
+        records[-1][1].append(line)
+    if not records:
+        raise ValueError("not a FASTA input (no '>' header)")
+    return [(header, encode(b"".join(chunks))) for header, chunks in records]
+
+
+def read_fasta_records(path: str | Path) -> tuple[tuple[str, np.ndarray], ...]:
+    """Read *every* record of a FASTA file -> ((header, codes), ...).
+
+    The multi-record companion of :func:`read_fasta` — ingestion
+    (:mod:`repro.dna.ingest`) measures workload statistics over all
+    records (a positive set is typically many short sequences), while
+    the single-record reader serves GenBank chromosome dumps.
+    """
+    with open(path, "rb") as fh:
+        return tuple(_parse_fasta_records(fh))
+
+
+def read_fasta_records_string(text: str) -> tuple[tuple[str, np.ndarray], ...]:
+    """Parse every FASTA record from a string (tests and examples)."""
+    return tuple(_parse_fasta_records(line.encode("ascii") for line in text.splitlines()))
+
+
 def read_fasta_string(text: str) -> tuple[str, np.ndarray]:
     """Parse FASTA from a string (convenience for tests and examples)."""
     buf = io.StringIO(text)
@@ -166,6 +202,8 @@ __all__ = [
     "generate_sequence",
     "genome_sample",
     "read_fasta",
+    "read_fasta_records",
+    "read_fasta_records_string",
     "read_fasta_string",
     "write_fasta",
 ]

@@ -42,6 +42,7 @@ for throwaway workloads); registration is idempotent per key.
 
 from __future__ import annotations
 
+import hashlib
 from dataclasses import dataclass
 
 from ..machines.cache import working_set_kb
@@ -216,6 +217,19 @@ class WorkloadSpec:
         """Scan-roofline multiplier relative to ``dna-paper``."""
         return self._relative_density_factor(MATCH_EFFICIENCY_COST)
 
+    def content_digest(self) -> str:
+        """Stable digest of the spec's full content.
+
+        Dataclass ``repr`` is deterministic and spells out every field,
+        so equal specs collide and any change to a measured quantity
+        (density, alphabet, pattern histogram) yields a fresh digest.
+        Derived workloads (namespaced keys, see :func:`register_workload`)
+        are canonicalized by this in service request identities
+        (:meth:`repro.service.store.CellKey.for_request`) — their *name*
+        alone does not pin their content the way a built-in's does.
+        """
+        return hashlib.sha256(repr(self).encode("utf-8")).hexdigest()
+
     def profile(self) -> WorkloadProfile:
         """The performance-model handle this scenario derives.
 
@@ -317,16 +331,52 @@ WORKLOADS: dict[str, WorkloadSpec] = {}
 DEFAULT_WORKLOAD_KEY = "dna-paper"
 
 
+def is_derived_key(key: str) -> bool:
+    """True for namespaced (data-derived) registry keys like ``fasta:x``.
+
+    Built-in workloads have plain names; workloads derived from data at
+    runtime (FASTA ingestion, :mod:`repro.dna.ingest`) use namespaced
+    ``<namespace>:<name>[:<variant>]`` keys.  The distinction matters
+    for caching: a derived key's *name* does not pin its content across
+    processes, so request identities add the spec's
+    :meth:`~WorkloadSpec.content_digest`.
+    """
+    return ":" in key
+
+
+def _validate_key(key: str) -> str:
+    """Enforce the registry key convention (see :func:`register_workload`)."""
+    if not key:
+        raise ValueError("workload key must be non-empty")
+    if ":" in key:
+        segments = key.split(":")
+        if any(not segment.strip() for segment in segments):
+            raise ValueError(
+                f"namespaced workload key {key!r} has an empty segment; "
+                "derived keys are '<namespace>:<name>' or "
+                "'<namespace>:<name>:<variant>'"
+            )
+    return key
+
+
 def register_workload(spec: WorkloadSpec, *, key: str | None = None) -> WorkloadSpec:
     """Register ``spec`` under ``key`` (default: its lower-cased name).
 
     Re-registering the same key with the same spec is a no-op; a
     different spec under an existing key raises, so names stay
     unambiguous.
+
+    Key convention: built-in (hand-authored) workloads use plain
+    lower-case names (``dna-paper``).  Workloads *derived from data* use
+    namespaced keys — ``<namespace>:<name>`` with an optional
+    ``:<variant>`` suffix, e.g. the FASTA ingestion pipeline's
+    ``fasta:<name>`` positive set and ``fasta:<name>:shuffled``
+    background (:mod:`repro.dna.ingest`).  Namespaced keys must have
+    non-empty segments; the namespace tells consumers the workload's
+    content is data-dependent, so caches key it by content digest
+    rather than by name (see :func:`is_derived_key`).
     """
-    key = (key if key is not None else spec.name).strip().lower()
-    if not key:
-        raise ValueError("workload key must be non-empty")
+    key = _validate_key((key if key is not None else spec.name).strip().lower())
     existing = WORKLOADS.get(key)
     if existing is not None and existing != spec:
         raise ValueError(f"workload key {key!r} already registered for {existing.name!r}")

@@ -35,6 +35,7 @@ from .registry import (
     SLOWLINK,
     all_platforms,
     get_platform,
+    resolve_platform,
     platform_names,
     register_platform,
 )
@@ -96,6 +97,7 @@ __all__ = [
     "SLOWLINK",
     "all_platforms",
     "get_platform",
+    "resolve_platform",
     "platform_names",
     "register_platform",
     "PlacementStats",

@@ -93,6 +93,18 @@ def get_platform(name: str | PlatformSpec) -> PlatformSpec:
     return spec
 
 
+def resolve_platform(platform: str | PlatformSpec) -> PlatformSpec:
+    """Canonical spec-or-name coercion for the platform axis.
+
+    Every public tuning entry point funnels its ``platform`` argument
+    through this (the mirror of
+    :func:`repro.dna.workloads.resolve_workload` on the workload axis),
+    so name/spec coercion lives in exactly one place per axis instead
+    of being re-implemented per function.
+    """
+    return get_platform(platform)
+
+
 # --- the built-in fleet ----------------------------------------------------
 
 #: Fat-host / weak-device box: 4 x 16-core sockets vs an entry Phi 3120A

@@ -62,6 +62,13 @@ class SubmitRequest:
     cells; every other field maps 1:1 onto
     :func:`~repro.core.campaign.tune_scenario` arguments.  ``client``
     names the quota bucket the evaluations are charged to.
+
+    ``derived`` carries runtime-registered workload specs (encoded via
+    :func:`~repro.service.serde.encode_workload_spec`) that the server
+    registers *before* resolving cells — how a client submits its own
+    ingested ``fasta:*`` workloads to a server that has never seen the
+    underlying FASTA.  A derived entry conflicting with the server's
+    registry rejects the whole request as ``bad-request``.
     """
 
     client: str = "anonymous"
@@ -75,12 +82,14 @@ class SubmitRequest:
     batch_size: int = 64
     shards: int = 1
     refine: float | None = None
+    derived: tuple[dict, ...] = ()
 
     def to_message(self) -> dict:
         message = {"op": "submit", "version": PROTOCOL_VERSION}
         message.update(asdict(self))
         message["workloads"] = list(self.workloads)
         message["platforms"] = list(self.platforms)
+        message["derived"] = [dict(spec) for spec in self.derived]
         return message
 
     @classmethod
@@ -90,6 +99,8 @@ class SubmitRequest:
         for axis in ("workloads", "platforms"):
             if axis in kwargs:
                 kwargs[axis] = tuple(kwargs[axis])
+        if "derived" in kwargs:
+            kwargs["derived"] = tuple(dict(spec) for spec in kwargs["derived"])
         return cls(**kwargs)
 
 

@@ -23,6 +23,43 @@ from ..core.campaign import PlatformTuneReport, ScenarioReport
 from ..core.energy import Energy
 from ..core.methods import MethodResult
 from ..core.params import DeviceSlot, SystemConfiguration
+from ..dna.workloads import WorkloadSpec
+
+
+def encode_workload_spec(spec: WorkloadSpec) -> dict:
+    """JSON-able form of a workload spec (derived-workload transport).
+
+    Clients ship runtime-registered specs — ingested ``fasta:*``
+    workloads — alongside submits so the server can register them
+    before resolving cells; the round-trip is exact, so the server-side
+    spec equals the client's field for field (and therefore digests
+    identically, see :meth:`~repro.dna.workloads.WorkloadSpec.content_digest`).
+    """
+    return {
+        "name": spec.name,
+        "sequence_mb": spec.sequence_mb,
+        "alphabet_size": spec.alphabet_size,
+        "pattern_lengths": list(spec.pattern_lengths),
+        "match_density": spec.match_density,
+        "state_sharing": spec.state_sharing,
+        "transfer_overlap": spec.transfer_overlap,
+        "description": spec.description,
+    }
+
+
+def decode_workload_spec(data: dict) -> WorkloadSpec:
+    """Rebuild a workload spec; validation reruns in ``__post_init__``."""
+    density = data["match_density"]
+    return WorkloadSpec(
+        name=str(data["name"]),
+        sequence_mb=float(data["sequence_mb"]),
+        alphabet_size=int(data["alphabet_size"]),
+        pattern_lengths=tuple(int(n) for n in data["pattern_lengths"]),
+        match_density=None if density is None else float(density),
+        state_sharing=float(data["state_sharing"]),
+        transfer_overlap=float(data["transfer_overlap"]),
+        description=str(data["description"]),
+    )
 
 
 def encode_config(config: SystemConfiguration) -> dict:

@@ -47,7 +47,10 @@ from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass, field
 
 from ..core import campaign as campaign_mod
+from ..core.options import TuningOptions
 from ..core.pool import pool_executor
+from ..dna.workloads import get_workload, register_workload
+from ..machines.registry import resolve_platform
 from .protocol import (
     DEFAULT_HOST,
     REASON_BAD_REQUEST,
@@ -66,7 +69,7 @@ from .protocol import (
     rejected_event,
     stats_event,
 )
-from .serde import encode_scenario
+from .serde import decode_workload_spec, encode_scenario
 from .store import CellKey, ResultStore
 
 
@@ -236,6 +239,12 @@ class CampaignServer:
         self.stats.requests += 1
         try:
             request = SubmitRequest.from_message(message)
+            # Derived workload specs (client-side FASTA ingests) register
+            # before cell resolution; a conflicting redefinition raises
+            # and rejects the whole request below.  Identical re-submits
+            # are no-ops, matching the registry's idempotence rule.
+            for entry in request.derived:
+                register_workload(decode_workload_spec(entry))
             cells = [
                 CellKey.for_request(
                     workload,
@@ -373,21 +382,26 @@ class CampaignServer:
         Reuses the campaign layer's picklable fan-out worker and its
         pre-seed / merge-back cache protocol verbatim: workers start
         from the parent's EM-cache snapshot and their fresh entries are
-        merged (and persisted, via the bound store) on return.
+        merged (and persisted, via the bound store) on return.  The job
+        carries *resolved* specs, not names — process-pool workers have
+        fresh registries, where the server's runtime-registered derived
+        workloads would not resolve.
         """
         kwargs = dict(
             method=cell.method,
             size_mb=cell.size_mb,
             iterations=cell.iterations,
             seed=cell.seed,
-            engine=cell.engine,
-            batch_size=cell.batch_size,
-            shards=request.shards,
-            refine=cell.refine,
+            options=TuningOptions(
+                engine=cell.engine,
+                batch_size=cell.batch_size,
+                shards=request.shards,
+                refine=cell.refine,
+            ),
         )
         job = (
-            cell.workload,
-            cell.platform,
+            get_workload(cell.workload),
+            resolve_platform(cell.platform),
             kwargs,
             campaign_mod._em_cache_snapshot(),
         )

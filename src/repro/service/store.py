@@ -43,8 +43,9 @@ from dataclasses import dataclass
 
 from ..core.campaign import ScenarioReport
 from ..core.methods import MethodResult
-from ..dna.workloads import get_workload
-from ..machines.registry import get_platform
+from ..core.options import UNSET, TuningOptions, resolve_options
+from ..dna.workloads import get_workload, is_derived_key
+from ..machines.registry import resolve_platform
 from .serde import (
     decode_method_result,
     decode_scenario,
@@ -54,7 +55,10 @@ from .serde import (
 
 #: Bump on any incompatible change to record layout or key derivation;
 #: readers skip records from other versions (versioned invalidation).
-STORE_SCHEMA_VERSION = 1
+#: v2: ``CellKey`` grew ``workload_digest`` (derived workloads are
+#: content-addressed, see :meth:`CellKey.for_request`), which changes
+#: every scenario digest.
+STORE_SCHEMA_VERSION = 2
 
 KIND_EM = "em"
 KIND_SCENARIO = "scenario"
@@ -83,6 +87,15 @@ class CellKey:
     by construction, so a result computed with 4 shards serves a
     1-shard request verbatim.  ``engine`` / ``batch_size`` stay in the
     key because the served report embeds engine statistics.
+
+    *Derived* workloads — namespaced registry keys such as the ingested
+    ``fasta:<name>`` pairs (see :func:`~repro.dna.workloads.is_derived_key`)
+    — additionally carry ``workload_digest``, the content digest of the
+    resolved :class:`~repro.dna.workloads.WorkloadSpec`: two clients
+    ingesting *different* FASTA files under the same name must not
+    collide in the store, and re-ingesting identical content must.
+    Built-in workloads keep ``workload_digest=None`` (their name alone
+    is canonical — the registry rejects redefinition).
     """
 
     workload: str
@@ -94,6 +107,7 @@ class CellKey:
     engine: str | None
     batch_size: int
     refine: float | None
+    workload_digest: str | None = None
 
     @classmethod
     def for_request(
@@ -105,17 +119,24 @@ class CellKey:
         size_mb: float | None = None,
         iterations: int = 1000,
         seed: int = 0,
-        engine: str | None = "cached+batched",
-        batch_size: int = 64,
-        refine: float | None = None,
+        options: TuningOptions | None = None,
+        engine=UNSET,
+        batch_size=UNSET,
+        refine=UNSET,
     ) -> "CellKey":
         """Canonicalize a request into its dedup identity.
 
-        Raises ``ValueError`` for unknown workload/platform names, so
+        Result-relevant execution knobs come from ``options`` (a
+        :class:`~repro.core.options.TuningOptions`) or the legacy
+        keywords, merged exactly like the ``tune_*`` entry points; the
+        execution-only fields (``shards`` / ``processes`` /
+        ``start_method``) are ignored by construction.  Raises
+        ``ValueError`` for unknown workload/platform names, so
         admission rejects bad requests before touching the store.
         """
+        opts = resolve_options(options, engine=engine, batch_size=batch_size, refine=refine)
         wspec = get_workload(workload)
-        pspec = get_platform(platform)
+        pspec = resolve_platform(platform)
         return cls(
             workload=wspec.name,
             platform=pspec.name,
@@ -123,9 +144,12 @@ class CellKey:
             size_mb=float(size_mb) if size_mb is not None else wspec.sequence_mb,
             iterations=int(iterations),
             seed=int(seed),
-            engine=engine,
-            batch_size=int(batch_size),
-            refine=None if refine is None else float(refine),
+            engine=opts.engine_name,
+            batch_size=int(opts.batch_size),
+            refine=None if opts.refine is None else float(opts.refine),
+            workload_digest=(
+                wspec.content_digest() if is_derived_key(wspec.name) else None
+            ),
         )
 
     def digest(self) -> str:

@@ -93,9 +93,11 @@ class TestTuneCampaign:
 
         seen = []
 
-        def fake_tune_platform(name, **kwargs):
-            seen.append(name)
-            return tune_platform(name, method="EM", size_mb=SIZE_MB)
+        def fake_tune_platform(platform, **kwargs):
+            # Campaign jobs carry resolved specs (runtime-registered
+            # platforms must survive pool fan-out), not registry names.
+            seen.append(platform.name.lower())
+            return tune_platform(platform, method="EM", size_mb=SIZE_MB)
 
         monkeypatch.setattr(campaign_mod, "tune_platform", fake_tune_platform)
         campaign_mod.tune_campaign(method="SAML", size_mb=SIZE_MB)

@@ -1,0 +1,144 @@
+"""The unified TuningOptions object and its compatibility layer."""
+
+import dataclasses
+
+import pytest
+
+from repro.core import (
+    UNSET,
+    CachedEngine,
+    TuningOptions,
+    make_engine,
+    resolve_options,
+    tune_matrix,
+    tune_platform,
+    tune_scenario,
+)
+
+ITERS = 60
+
+
+class TestDefaultsAndValidation:
+    def test_defaults_match_the_historical_keywords(self):
+        opts = TuningOptions()
+        assert opts.engine == "cached+batched"
+        assert opts.batch_size == 64
+        assert opts.shards == 1
+        assert opts.refine is None
+        assert opts.processes is None
+        assert opts.start_method is None
+
+    def test_frozen(self):
+        with pytest.raises(dataclasses.FrozenInstanceError):
+            TuningOptions().engine = "serial"
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"batch_size": 0},
+            {"shards": 0},
+            {"refine": 0.0},
+            {"refine": -2.5},
+            {"processes": 0},
+        ],
+    )
+    def test_invalid_knobs_rejected(self, kwargs):
+        with pytest.raises(ValueError):
+            TuningOptions(**kwargs)
+
+
+class TestResolveOptions:
+    def test_no_options_no_keywords_is_the_default(self):
+        assert resolve_options(None) == TuningOptions()
+
+    def test_unset_keywords_are_dropped(self):
+        base = TuningOptions(engine="serial", shards=4)
+        assert resolve_options(base, engine=UNSET, shards=UNSET) is base
+
+    def test_explicit_keyword_overrides_the_options_field(self):
+        base = TuningOptions(engine="serial", batch_size=32)
+        merged = resolve_options(base, engine="cached", batch_size=UNSET)
+        assert merged.engine == "cached"
+        assert merged.batch_size == 32  # untouched field survives
+
+    def test_explicit_none_is_an_override_not_a_drop(self):
+        merged = resolve_options(TuningOptions(refine=5.0), refine=None)
+        assert merged.refine is None
+
+
+class TestViews:
+    def test_for_cell_strips_fanout_knobs_only(self):
+        opts = TuningOptions(engine="cached", processes=4, start_method="spawn")
+        cell = opts.for_cell()
+        assert cell.processes is None and cell.start_method is None
+        assert cell.engine == "cached" and cell.batch_size == opts.batch_size
+
+    def test_for_cell_is_identity_without_fanout_knobs(self):
+        opts = TuningOptions()
+        assert opts.for_cell() is opts
+
+    def test_engine_instance_materializes_names(self):
+        engine = TuningOptions(engine="cached", batch_size=8).engine_instance()
+        assert isinstance(engine, CachedEngine)
+
+    def test_engine_instance_passes_instances_through(self):
+        shared = make_engine("batched", batch_size=16)
+        assert TuningOptions(engine=shared).engine_instance() is shared
+
+    def test_engine_name_is_stable_across_forms(self):
+        assert TuningOptions(engine=None).engine_name is None
+        assert TuningOptions(engine="serial").engine_name == "serial"
+        instance = make_engine("batched", batch_size=16)
+        assert TuningOptions(engine=instance).engine_name == "BatchedEngine"
+
+
+class TestEntryPointEquivalence:
+    """options= and the legacy keywords must produce identical results."""
+
+    def test_tune_platform_options_equals_legacy(self):
+        legacy = tune_platform(
+            "emil", iterations=ITERS, seed=0, engine="cached", batch_size=16
+        )
+        unified = tune_platform(
+            "emil",
+            iterations=ITERS,
+            seed=0,
+            options=TuningOptions(engine="cached", batch_size=16),
+        )
+        assert unified == legacy
+
+    def test_tune_scenario_keyword_overrides_options(self):
+        base = TuningOptions(engine="serial")
+        overridden = tune_scenario(
+            "short-read", "emil", iterations=ITERS, seed=0,
+            options=base, engine="cached+batched",
+        )
+        direct = tune_scenario(
+            "short-read", "emil", iterations=ITERS, seed=0,
+            engine="cached+batched",
+        )
+        assert overridden == direct
+
+    def test_tune_matrix_accepts_engine_instances(self):
+        """Regression: the matrix path accepts EvaluationEngine instances.
+
+        ``tune_matrix`` historically annotated ``engine`` as ``str | None``
+        while every other entry point also took instances; a shared
+        instance through the serial matrix path must work and aggregate
+        its statistics across cells.
+        """
+        shared = make_engine("cached+batched", batch_size=64)
+        res = tune_matrix(
+            ("short-read",), ("emil", "slowlink"),
+            iterations=ITERS, seed=0,
+            options=TuningOptions(engine=shared),
+        )
+        named = tune_matrix(
+            ("short-read",), ("emil", "slowlink"),
+            iterations=ITERS, seed=0, engine="cached+batched",
+        )
+        assert [c.report.config for c in res.reports] == [
+            c.report.config for c in named.reports
+        ]
+        # The shared instance saw every cell's evaluations.
+        assert shared.stats.batches >= sum(c.report.engine_batches for c in named.reports)

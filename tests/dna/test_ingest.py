@@ -1,0 +1,234 @@
+"""FASTA ingestion: measurement, shuffled backgrounds, derived specs."""
+
+import re
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.dna import (
+    IUPAC_CODES,
+    WorkloadSpec,
+    encode,
+    is_derived_key,
+    register_workload,
+)
+from repro.dna.ingest import (
+    DEFAULT_SCAN_PATTERNS,
+    SequenceStats,
+    derived_key,
+    dinucleotide_counts,
+    dinucleotide_shuffle,
+    effective_alphabet_size,
+    effective_pattern_length,
+    ingest_fasta_string,
+    ingest_records,
+    measure_matches,
+    register_ingest,
+    sequence_stats,
+    shuffled_records,
+)
+from repro.dna.workloads import WORKLOADS
+
+
+@pytest.fixture(autouse=True)
+def clean_workload_registry():
+    """Snapshot/restore the global registry around every test."""
+    snapshot = dict(WORKLOADS)
+    yield
+    WORKLOADS.clear()
+    WORKLOADS.update(snapshot)
+
+
+FASTA = """\
+>rec1 first
+ACGTACGTTATAAACCAATGG
+>rec2 second
+CACGTGGAATTCACGTACGT
+"""
+
+
+def oracle_matches(text: str, patterns) -> int:
+    """Overlapping occurrence count via regex lookahead (the test oracle)."""
+    total = 0
+    for pattern in patterns:
+        rx = "".join(f"[{IUPAC_CODES[ch]}]" for ch in pattern)
+        total += len(re.findall(f"(?={rx})", text))
+    return total
+
+
+class TestDerivedKeys:
+    def test_key_forms(self):
+        assert derived_key("x") == "fasta:x"
+        assert derived_key("X ", "shuffled") == "fasta:x:shuffled"
+
+    def test_invalid_names_rejected(self):
+        with pytest.raises(ValueError, match="non-empty"):
+            derived_key("")
+        with pytest.raises(ValueError, match="':'-free"):
+            derived_key("a:b")
+
+    def test_is_derived_key_split(self):
+        assert is_derived_key(derived_key("x"))
+        assert not is_derived_key("dna-paper")
+
+    def test_registry_rejects_empty_segments(self):
+        spec = WorkloadSpec(
+            name="fasta:", sequence_mb=1.0, pattern_lengths=(5, 7)
+        )
+        with pytest.raises(ValueError, match="empty segment"):
+            register_workload(spec)
+
+
+class TestSequenceStats:
+    def test_hand_counted_example(self):
+        stats = sequence_stats((encode("ACGT"), encode("GGCCN")))
+        assert stats.n_records == 2
+        assert stats.n_bases == 9
+        assert stats.base_counts == (1, 3, 3, 1)
+        assert stats.unknown_bases == 1
+        assert stats.gc_content == pytest.approx(6 / 8)
+        assert stats.unknown_rate == pytest.approx(1 / 9)
+        assert stats.megabytes == pytest.approx(9e-6)
+        assert sum(stats.composition) == pytest.approx(1.0)
+
+    def test_inconsistent_counts_rejected(self):
+        with pytest.raises(ValueError, match="sum to"):
+            SequenceStats(
+                n_records=1, n_bases=5, base_counts=(1, 1, 1, 1), unknown_bases=0
+            )
+
+
+class TestEffectiveQuantities:
+    def test_exact_pattern_length_is_literal_length(self):
+        assert effective_pattern_length("TATAAA") == 6
+
+    def test_ambiguity_expands_length(self):
+        # C,A,T,G contribute 1 each; each N contributes 4 branches.
+        assert effective_pattern_length("CANNTG") == 12
+
+    def test_alphabet_counts_distinct_ambiguity_codes(self):
+        assert effective_alphabet_size(("ACGT",)) == 4
+        assert effective_alphabet_size(("TATAWAWR", "CANNTG")) == 7  # +W, +R, +N
+
+    def test_default_panel_mixes_exact_and_degenerate(self):
+        assert any(set(p) <= set("ACGT") for p in DEFAULT_SCAN_PATTERNS)
+        assert any(not set(p) <= set("ACGT") for p in DEFAULT_SCAN_PATTERNS)
+
+
+class TestMeasureMatches:
+    def test_matches_agree_with_regex_oracle(self):
+        text = "ACGTTATAAACCAATCACGTGACACGTG"
+        patterns = ("TATAAA", "CCAAT", "CANNTG")
+        matches, states = measure_matches((encode(text),), patterns)
+        assert matches == oracle_matches(text, patterns)
+        assert states > 1
+
+    @settings(max_examples=40, deadline=None)
+    @given(
+        texts=st.lists(
+            st.text(alphabet=st.sampled_from("ACGT"), min_size=1, max_size=120),
+            min_size=1,
+            max_size=3,
+        ),
+        patterns=st.lists(
+            st.text(alphabet=st.sampled_from("ACGTWRN"), min_size=2, max_size=5),
+            min_size=1,
+            max_size=4,
+            unique=True,
+        ),
+    )
+    def test_property_matches_agree_with_regex_oracle(self, texts, patterns):
+        records = tuple(encode(t) for t in texts)
+        matches, _ = measure_matches(records, tuple(patterns))
+        assert matches == sum(oracle_matches(t, patterns) for t in texts)
+
+
+class TestDinucleotideShuffle:
+    @settings(max_examples=50, deadline=None)
+    @given(
+        text=st.text(alphabet=st.sampled_from("ACGT"), min_size=3, max_size=300),
+        seed=st.integers(min_value=0, max_value=2**31 - 1),
+    )
+    def test_shuffle_preserves_dinucleotide_counts_and_endpoints(self, text, seed):
+        codes = encode(text)
+        shuffled = dinucleotide_shuffle(codes, seed=seed)
+        assert shuffled.size == codes.size
+        assert shuffled[0] == codes[0] and shuffled[-1] == codes[-1]
+        assert dinucleotide_counts(shuffled) == dinucleotide_counts(codes)
+
+    def test_shuffle_is_deterministic_per_seed(self):
+        # ACGT*50 would be a single forced Eulerian cycle; mix in enough
+        # distinct dinucleotides that the walk has real choices.
+        codes = encode("ACGTAGCTTGCAACGGTTCA" * 10)
+        a = dinucleotide_shuffle(codes, seed=7)
+        b = dinucleotide_shuffle(codes, seed=7)
+        c = dinucleotide_shuffle(codes, seed=8)
+        assert np.array_equal(a, b)
+        assert not np.array_equal(a, c)  # 200 bases: collision ~ impossible
+
+    def test_short_sequences_return_copies(self):
+        for text in ("", "A", "AC"):
+            codes = encode(text)
+            out = dinucleotide_shuffle(codes, seed=0)
+            assert np.array_equal(out, codes)
+            assert out is not codes
+
+    def test_shuffled_records_seed_each_record_independently(self):
+        records = (encode("ACGTACGTAC" * 10), encode("ACGTACGTAC" * 10))
+        first = shuffled_records(records, seed=3)
+        second = shuffled_records(records, seed=3)
+        assert all(np.array_equal(a, b) for a, b in zip(first, second))
+        # Identical inputs must not shuffle identically within one call.
+        assert not np.array_equal(first[0], first[1])
+
+
+class TestIngest:
+    def test_ingest_fasta_string_measures_and_derives(self):
+        report = ingest_fasta_string(FASTA, name="mini")
+        assert report.stats.n_records == 2
+        assert report.headers == ("rec1 first", "rec2 second")
+        assert report.positive_key == "fasta:mini"
+        assert report.background_key == "fasta:mini:shuffled"
+        # The planted TATAAA/CCAAT/CACGTG/GAATTC hits make the positive
+        # set denser than its shuffled background.
+        assert report.match_density > 0
+        assert report.enrichment() >= 1.0
+
+    def test_sequence_mb_override_rescales_only_the_scale(self):
+        small = ingest_fasta_string(FASTA, name="mini")
+        big = ingest_fasta_string(FASTA, name="mini", sequence_mb=3000.0)
+        assert big.workload.sequence_mb == 3000.0
+        assert big.match_density == small.match_density
+        assert big.workload.state_sharing == small.workload.state_sharing
+
+    def test_registration_is_idempotent_and_conflicts_raise(self):
+        report = ingest_fasta_string(FASTA, name="mini")
+        keys = register_ingest(report)
+        assert keys == ("fasta:mini", "fasta:mini:shuffled")
+        assert register_ingest(report) == keys  # same content: no-op
+        other = ingest_fasta_string(">r\nGGGGGGGGCCCCCCCC\n", name="mini")
+        with pytest.raises(ValueError, match="already registered"):
+            register_ingest(other)
+
+    @settings(max_examples=25, deadline=None)
+    @given(
+        texts=st.lists(
+            st.text(alphabet=st.sampled_from("ACGTN"), min_size=4, max_size=150),
+            min_size=1,
+            max_size=3,
+        ),
+        seed=st.integers(min_value=0, max_value=1000),
+    )
+    def test_property_derived_specs_always_validate(self, texts, seed):
+        records = tuple((f"r{i}", encode(t)) for i, t in enumerate(texts))
+        report = ingest_records(records, name="prop", shuffle_seed=seed)
+        for spec in (report.workload, report.background):
+            assert spec.alphabet_size >= 4
+            assert 0.0 <= spec.state_sharing <= 0.95
+            assert spec.sequence_mb > 0
+            assert spec.match_density is not None and spec.match_density >= 0
+        # The whole pipeline is deterministic under (records, seed).
+        again = ingest_records(records, name="prop", shuffle_seed=seed)
+        assert again.workload == report.workload
+        assert again.background == report.background
