@@ -3,9 +3,9 @@
 Artifacts: ``fig2``, ``fig5``, ``fig6``, ``fig7``, ``fig8``, ``table2``,
 ``table4``, ``table5``, ``table6``, ``table7``, ``table8``, ``table9``,
 ``fig9``, ``summary``, ``tune``, ``platforms``, ``workloads``,
-``ingest``, ``campaign``, ``matrix``, ``serve``, ``submit``, or
-``all``.  Everything prints as plain-text tables mirroring the paper's
-figures and tables.
+``ingest``, ``campaign``, ``matrix``, ``serve``, ``submit``, ``store``,
+or ``all``.  Everything prints as plain-text tables mirroring the
+paper's figures and tables.
 
 ``tune`` runs one optimization method end-to-end and prints the
 suggested system configuration; ``--engine``/``--batch-size`` select
@@ -35,11 +35,16 @@ scenario end-to-end.
 
 ``serve`` runs the long-lived campaign server of
 :mod:`repro.service` on ``--bind``/``--port`` with a durable
-``--store`` (admission knobs: ``--max-pending``, ``--quota``), and
-``submit`` sends one batch of cells to a running server
-(``--host``/``--port``, quota bucket ``--client``), streaming per-cell
-progress; ``--json`` emits the raw protocol events instead — see
-``docs/result-store.md`` for the operating guide.
+``--store`` (admission knobs: ``--max-pending``, ``--quota``;
+reliability knobs: ``--eval-deadline`` per-attempt evaluation deadline,
+``--fsync`` store durability policy), and ``submit`` sends one batch
+of cells to a running server (``--host``/``--port``, quota bucket
+``--client``), streaming per-cell progress; ``--json`` emits the raw
+protocol events instead — see ``docs/result-store.md`` for the
+operating guide.  ``store compact`` rewrites the ``--store`` file
+dropping quarantined/corrupt lines, foreign-schema records, and
+duplicate keys via an atomic rename, and reports the reclaimed bytes
+(see ``docs/reliability.md``).
 """
 
 from __future__ import annotations
@@ -73,7 +78,7 @@ ARTIFACTS = (
     "table1", "table2", "table3",
     "table4", "table5", "table6", "table7", "table8", "table9",
     "summary", "tune", "platforms", "workloads", "ingest", "campaign",
-    "matrix", "serve", "submit", "all",
+    "matrix", "serve", "submit", "store", "all",
 )
 
 #: The ``--budget-scale small`` matrix subset: three workloads spanning
@@ -497,13 +502,35 @@ def _run_matrix(args) -> int:
     return 0
 
 
+def _run_store(args) -> int:
+    """Maintain the durable result store (``store compact``)."""
+    from .service import ResultStore
+
+    if args.subcommand != "compact":
+        have = "compact"
+        print(
+            f"error: `store` needs a subcommand ({have}); "
+            f"got {args.subcommand!r}",
+            file=sys.stderr,
+        )
+        return 2
+    try:
+        store = ResultStore(args.store, fsync=args.fsync)
+        report = store.compact()
+    except (OSError, ValueError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    print(f"compacted {report.path}: {report.describe()}")
+    return 0
+
+
 def _run_serve(args) -> int:
     """Run the campaign service until Ctrl-C or a client shutdown op."""
     import asyncio
 
     from .service import CampaignServer, ResultStore
 
-    store = ResultStore(args.store)
+    store = ResultStore(args.store, fsync=args.fsync)
     server = CampaignServer(
         store,
         host=args.bind,
@@ -511,6 +538,7 @@ def _run_serve(args) -> int:
         max_pending=args.max_pending,
         quota=args.quota,
         processes=args.processes or 0,
+        eval_deadline_s=args.eval_deadline,
     )
 
     async def run() -> None:
@@ -565,10 +593,20 @@ def _run_submit(args, workload, platform) -> int:
             file=sys.stderr,
         )
 
+    from .service.client import ServiceConnectionError
+
     try:
         events = service_submit(
             request, host=args.host, port=args.port, on_event=progress
         )
+    except ServiceConnectionError as exc:
+        # Connect retries already ran; the message names host, port,
+        # and attempts.
+        print(
+            f"error: {exc}; start one with `python -m repro serve`",
+            file=sys.stderr,
+        )
+        return 2
     except (ConnectionError, OSError) as exc:
         print(
             f"error: no server at {args.host}:{args.port} ({exc}); "
@@ -622,6 +660,10 @@ def main(argv: list[str] | None = None) -> int:
         description="Reproduce the paper's figures and tables.",
     )
     parser.add_argument("artifact", choices=ARTIFACTS, help="what to regenerate")
+    parser.add_argument(
+        "subcommand", nargs="?", default=None,
+        help="`store`: maintenance action (compact)",
+    )
     parser.add_argument("--seed", type=int, default=0, help="substrate noise seed")
     parser.add_argument(
         "--seeds", type=int, default=5, help="annealing repetitions for fig9/tables 6-9"
@@ -742,6 +784,17 @@ def main(argv: list[str] | None = None) -> int:
         "(default: unlimited; store hits and coalesced cells are free)",
     )
     parser.add_argument(
+        "--eval-deadline", type=float, default=None,
+        help="`serve`: per-attempt evaluation deadline [s]; timed-out "
+        "attempts are retried with backoff before the cell errors "
+        "(default: no deadline)",
+    )
+    parser.add_argument(
+        "--fsync", choices=("never", "always"), default="never",
+        help="`serve`/`store`: result-store durability policy — `always` "
+        "fsyncs every append (power-loss safe, slower)",
+    )
+    parser.add_argument(
         "--client", default="anonymous",
         help="`submit`: client name — the quota bucket evaluations are charged to",
     )
@@ -793,6 +846,11 @@ def main(argv: list[str] | None = None) -> int:
 
     if want == "matrix":
         code = _run_matrix(args)
+        print(f"[done in {time.time() - t0:.1f}s]", file=sys.stderr)
+        return code
+
+    if want == "store":
+        code = _run_store(args)
         print(f"[done in {time.time() - t0:.1f}s]", file=sys.stderr)
         return code
 

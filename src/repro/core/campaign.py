@@ -24,7 +24,12 @@ platform engine statistics and experiment budgets stay clean.  With
 ``processes > 1`` whole platforms are scored concurrently over a
 process pool — every per-platform computation is deterministic given
 ``(platform, method, seed)``, so the fan-out changes wall-clock time
-only, never results.
+only, never results.  Dispatch goes through the fault-tolerant
+:func:`~repro.core.pool.run_tasks` loop: crashed or timed-out cells
+are re-dispatched under the options' retry policy, a wedged pool is
+rebuilt once, and repeated failure degrades to serial in-process
+execution — the campaign completes either way, with the ledger
+attached to the result's ``reliability`` field.
 
 ML-backed methods (EML/SAML) retrain the predictors per platform (the
 paper's "once per platform" training workflow); platforms without an
@@ -34,7 +39,9 @@ methods — use EM/SAM fleet-wide, or pass an explicit platform list.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
+
+from repro.reliability import RetryStats
 
 from ..dna.workloads import (
     WorkloadSpec,
@@ -56,7 +63,7 @@ from .params import (
     platform_space,
     workload_space,
 )
-from .pool import pool_context
+from .pool import run_tasks
 
 #: Methods that need per-platform trained predictors.
 ML_METHODS = ("EML", "SAML")
@@ -254,6 +261,11 @@ class CampaignResult:
     method: str
     size_mb: float
     reports: tuple[PlatformTuneReport, ...]
+    #: Dispatch-reliability ledger for this run (retries, timeouts,
+    #: degradations — see :func:`~repro.core.pool.run_tasks`).  Purely
+    #: observational: excluded from equality so a retried run compares
+    #: equal to its fault-free twin, which is the headline invariant.
+    reliability: RetryStats | None = field(default=None, compare=False, repr=False)
 
     def __iter__(self):
         return iter(self.reports)
@@ -497,6 +509,10 @@ def tune_campaign(
     :data:`~repro.core.pool.START_METHOD_PREFERENCE`).  Workers are
     pre-seeded with the parent's EM-reference cache and their fresh
     entries are merged back, so repeated campaigns never re-walk a cell.
+    Dispatch is fault-tolerant (``options.retry``, see
+    :func:`~repro.core.pool.run_tasks`): crashed or timed-out cells are
+    re-dispatched and the run degrades to serial rather than aborting,
+    with the ledger on the result's ``reliability`` field.
     """
     opts = resolve_options(
         options,
@@ -531,17 +547,20 @@ def tune_campaign(
         options=opts.for_cell(),
     )
     jobs = [(spec, kwargs, _em_cache_snapshot()) for spec in specs]
-    if opts.processes is not None and opts.processes > 1 and len(jobs) > 1:
-        context = pool_context(opts.start_method)
-        with context.Pool(min(opts.processes, len(jobs))) as pool:
-            outcomes = pool.map(_tune_platform_worker, jobs)
-    else:
-        outcomes = [_tune_platform_worker(job) for job in jobs]
+    outcomes, rstats = run_tasks(
+        _tune_platform_worker,
+        jobs,
+        processes=opts.processes,
+        start_method=opts.start_method,
+        policy=opts.retry,
+    )
     reports = []
     for report, fresh in outcomes:
         _merge_em_entries(fresh)
         reports.append(report)
-    return CampaignResult(method=method, size_mb=size_mb, reports=tuple(reports))
+    return CampaignResult(
+        method=method, size_mb=size_mb, reports=tuple(reports), reliability=rstats
+    )
 
 
 # --- workload x platform scenario matrices ----------------------------------
@@ -584,6 +603,10 @@ class MatrixResult:
     workloads: tuple[str, ...]
     platforms: tuple[str, ...]
     reports: tuple[ScenarioReport, ...]
+    #: Dispatch-reliability ledger for this run (see
+    #: :class:`CampaignResult.reliability`); excluded from equality so a
+    #: retried matrix compares equal to its fault-free twin.
+    reliability: RetryStats | None = field(default=None, compare=False, repr=False)
 
     def __iter__(self):
         return iter(self.reports)
@@ -786,12 +809,13 @@ def tune_matrix(
         options=opts.for_cell(),
     )
     jobs = [(w, p, kwargs, _em_cache_snapshot()) for w in wspecs for p in pspecs]
-    if opts.processes is not None and opts.processes > 1 and len(jobs) > 1:
-        context = pool_context(opts.start_method)
-        with context.Pool(min(opts.processes, len(jobs))) as pool:
-            outcomes = pool.map(_tune_scenario_worker, jobs)
-    else:
-        outcomes = [_tune_scenario_worker(job) for job in jobs]
+    outcomes, rstats = run_tasks(
+        _tune_scenario_worker,
+        jobs,
+        processes=opts.processes,
+        start_method=opts.start_method,
+        policy=opts.retry,
+    )
     reports = []
     for report, fresh in outcomes:
         _merge_em_entries(fresh)
@@ -801,4 +825,5 @@ def tune_matrix(
         workloads=tuple(w.name for w in wspecs),
         platforms=tuple(p.name for p in pspecs),
         reports=tuple(reports),
+        reliability=rstats,
     )

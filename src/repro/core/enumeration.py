@@ -512,14 +512,24 @@ def _sharded_refined_walk(
     def run_level(vectors: tuple[tuple[float, ...], ...]) -> EnumerationResult:
         ranges = plan_share_shards(len(vectors), shards)
         if pooled and len(ranges) > 1:
-            from .pool import pool_context
+            from repro.reliability import SITE_ENUM_SHARD
+
+            from .pool import run_tasks
 
             jobs = [
                 (*job_payload, part_grids, vectors[a:b], size_mb) for a, b in ranges
             ]
-            context = pool_context(start_method)
-            with context.Pool(min(processes, len(jobs))) as pool:
-                results = pool.map(worker, jobs)
+            # Fault-tolerant dispatch: a crashed or timed-out shard is
+            # re-dispatched (and ultimately recomputed in-process), so a
+            # wedged worker degrades the walk's wall-clock, never its
+            # result — shard reductions stay bit-identical.
+            results, _ = run_tasks(
+                worker,
+                jobs,
+                processes=processes,
+                start_method=start_method,
+                site=SITE_ENUM_SHARD,
+            )
         else:
             results = [
                 _separable_walk(part_grids, vectors[a:b], time_grid, size_mb)

@@ -18,14 +18,16 @@ The split of responsibilities is deliberate:
   (engine statistics are embedded in reports; ``refine`` changes the
   enumerated fidelity) and therefore belong to the request identity
   (:meth:`repro.service.store.CellKey.for_request` consumes these).
-* ``shards`` / ``processes`` / ``start_method`` change only *how* the
-  computation is executed — results are bit-identical by construction —
-  so they never enter cache keys or the store.
+* ``shards`` / ``processes`` / ``start_method`` / ``retry`` change only
+  *how* the computation is executed — results are bit-identical by
+  construction — so they never enter cache keys or the store.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, replace
+
+from repro.reliability import RetryPolicy
 
 from .engine import EvaluationEngine
 
@@ -62,6 +64,12 @@ class TuningOptions:
     start_method:
         Pool start method override (default: safest available, see
         :data:`~repro.core.pool.START_METHOD_PREFERENCE`).
+    retry:
+        :class:`~repro.reliability.RetryPolicy` governing pooled
+        dispatch (re-dispatch of crashed/timed-out tasks, pool rebuild,
+        serial degradation — see :func:`~repro.core.pool.run_tasks`);
+        ``None`` uses :data:`~repro.reliability.DEFAULT_RETRY_POLICY`.
+        Execution-only, like ``processes``: never part of cache keys.
     """
 
     engine: str | EvaluationEngine | None = "cached+batched"
@@ -70,6 +78,7 @@ class TuningOptions:
     refine: float | None = None
     processes: int | None = None
     start_method: str | None = None
+    retry: RetryPolicy | None = None
 
     def __post_init__(self) -> None:
         if self.batch_size < 1:

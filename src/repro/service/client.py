@@ -10,11 +10,19 @@ The module-level helpers — :func:`submit`, :func:`fetch_stats`,
 :func:`request_shutdown` — are synchronous wrappers (one connection,
 one operation, ``asyncio.run``) for callers without an event loop:
 the ``repro submit`` CLI, tests, and scripts.
+
+Connecting is fault-tolerant: an unreachable or *restarting* server is
+retried under a bounded :class:`~repro.reliability.RetryPolicy` with
+deterministic backoff, and a spent budget raises
+:class:`ServiceConnectionError` naming the host, port, and attempt
+count — never a raw ``ConnectionRefusedError`` with no context.
 """
 
 from __future__ import annotations
 
 import asyncio
+
+from repro.reliability import CONNECT_RETRY_POLICY, RetryPolicy
 
 from .protocol import (
     DEFAULT_HOST,
@@ -25,6 +33,15 @@ from .protocol import (
 )
 
 
+class ServiceConnectionError(ConnectionError):
+    """Could not reach the campaign server after the retry budget.
+
+    Subclasses ``ConnectionError`` so existing ``except ConnectionError``
+    call sites keep working; the message names host, port, attempts,
+    and the underlying failure.
+    """
+
+
 class ServiceClient:
     """One connection to a :class:`~repro.service.server.CampaignServer`.
 
@@ -32,19 +49,44 @@ class ServiceClient:
 
         async with ServiceClient(port=port) as client:
             events = await client.submit(SubmitRequest(...))
+
+    ``retry`` governs :meth:`connect`: refused/unreachable attempts are
+    retried with deterministic backoff (default
+    :data:`~repro.reliability.CONNECT_RETRY_POLICY` — a restarting
+    server gets a moment to come back) before
+    :class:`ServiceConnectionError` is raised.
     """
 
-    def __init__(self, host: str = DEFAULT_HOST, port: int = DEFAULT_PORT):
+    def __init__(
+        self,
+        host: str = DEFAULT_HOST,
+        port: int = DEFAULT_PORT,
+        *,
+        retry: RetryPolicy | None = None,
+    ):
         self.host = host
         self.port = port
+        self.retry = retry if retry is not None else CONNECT_RETRY_POLICY
         self._reader: asyncio.StreamReader | None = None
         self._writer: asyncio.StreamWriter | None = None
 
     async def connect(self) -> "ServiceClient":
-        self._reader, self._writer = await asyncio.open_connection(
-            self.host, self.port
-        )
-        return self
+        policy = self.retry
+        last: Exception | None = None
+        for attempt in range(policy.max_attempts):
+            try:
+                self._reader, self._writer = await asyncio.open_connection(
+                    self.host, self.port
+                )
+                return self
+            except (ConnectionError, OSError) as exc:
+                last = exc
+                if attempt + 1 < policy.max_attempts:
+                    await asyncio.sleep(policy.backoff(attempt))
+        raise ServiceConnectionError(
+            f"no campaign server reachable at {self.host}:{self.port} "
+            f"after {policy.max_attempts} attempt(s): {last}"
+        ) from last
 
     async def close(self) -> None:
         if self._writer is not None:
@@ -135,31 +177,42 @@ def submit(
     host: str = DEFAULT_HOST,
     port: int = DEFAULT_PORT,
     on_event=None,
+    retry: RetryPolicy | None = None,
 ) -> list[dict]:
     """Synchronous one-connection submit; returns the full event stream."""
 
     async def run() -> list[dict]:
-        async with ServiceClient(host, port) as client:
+        async with ServiceClient(host, port, retry=retry) as client:
             return await client.submit(request, on_event=on_event)
 
     return asyncio.run(run())
 
 
-def fetch_stats(*, host: str = DEFAULT_HOST, port: int = DEFAULT_PORT) -> dict:
+def fetch_stats(
+    *,
+    host: str = DEFAULT_HOST,
+    port: int = DEFAULT_PORT,
+    retry: RetryPolicy | None = None,
+) -> dict:
     """Synchronous one-connection stats fetch."""
 
     async def run() -> dict:
-        async with ServiceClient(host, port) as client:
+        async with ServiceClient(host, port, retry=retry) as client:
             return await client.stats()
 
     return asyncio.run(run())
 
 
-def request_shutdown(*, host: str = DEFAULT_HOST, port: int = DEFAULT_PORT) -> None:
+def request_shutdown(
+    *,
+    host: str = DEFAULT_HOST,
+    port: int = DEFAULT_PORT,
+    retry: RetryPolicy | None = None,
+) -> None:
     """Synchronous one-connection shutdown request."""
 
     async def run() -> None:
-        async with ServiceClient(host, port) as client:
+        async with ServiceClient(host, port, retry=retry) as client:
             await client.shutdown()
 
     return asyncio.run(run())

@@ -31,6 +31,15 @@ Cell events carry ``status`` (``start`` / ``done`` / ``rejected`` /
 Rejections carry ``reason`` (``saturated`` / ``quota-exhausted`` /
 ``bad-request``); saturation rejections add ``retry_after`` seconds —
 the graceful-degradation contract, instead of unbounded queue growth.
+
+Failure contract: a cell whose evaluation fails — retry budget
+exhausted, deadline exceeded, or a cancelled leader — produces a
+``cell`` event with ``status="error"``, the failure text in ``error``,
+and ``retry_after`` (seconds before a re-submit is worth trying).
+Coalesced followers receive the *same structured event* as the leader:
+a broken in-flight future is never shared, so no follower can hang on
+a leader that died.  These are existing ``cell_event`` fields — no
+wire-format change — so older clients simply surface the error text.
 """
 
 from __future__ import annotations

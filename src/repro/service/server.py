@@ -35,6 +35,16 @@ construction — the store round-trip is exact
 (:mod:`repro.service.serde`), followers share the leader's payload,
 and evaluations are pure functions of the cell key — so *when* a
 result was computed, and by whom, is unobservable to clients.
+
+Failure handling: evaluations run under a
+:class:`~repro.reliability.RetryPolicy` with an optional per-attempt
+deadline (``eval_deadline_s``) — a crashed or hung attempt is retried
+with deterministic backoff, a broken process pool is rebuilt, and only
+an exhausted budget surfaces as :class:`EvaluationFailed`.  A failed
+or cancelled leader propagates a *structured* ``error`` cell event
+(with ``retry_after``) to every coalesced follower — never a silently
+unresolved future — and the in-flight entry is always cleared.  The
+retry/timeout/degradation counters ride along in the ``stats`` op.
 """
 
 from __future__ import annotations
@@ -43,8 +53,17 @@ import asyncio
 import contextlib
 import math
 import time
-from concurrent.futures import ThreadPoolExecutor
+from concurrent.futures import BrokenExecutor, ThreadPoolExecutor
 from dataclasses import dataclass, field
+
+from repro.reliability import (
+    DEFAULT_RETRY_POLICY,
+    SITE_EVALUATION,
+    RetryPolicy,
+    maybe_action,
+    perform_action,
+    reliability_stats,
+)
 
 from ..core import campaign as campaign_mod
 from ..core.options import TuningOptions
@@ -73,6 +92,33 @@ from .serde import decode_workload_spec, encode_scenario
 from .store import CellKey, ResultStore
 
 
+class EvaluationFailed(RuntimeError):
+    """A cell evaluation exhausted its retry budget.
+
+    Carries ``retry_after`` — the server's saturation-informed estimate
+    of when a re-submit is worth trying — which rides the structured
+    ``error`` cell event to the leading client and every coalesced
+    follower.
+    """
+
+    def __init__(self, message: str, *, retry_after: float | None = None):
+        super().__init__(message)
+        self.retry_after = retry_after
+
+
+def _run_eval_job(args: tuple) -> tuple:
+    """Executor-side wrapper: perform the decided fault, then evaluate.
+
+    Module-level so it pickles to process-pool workers.  The fault
+    *decision* happens on the event loop (where the injector's counters
+    live); only the decided action ships here.  The worker is looked up
+    on the campaign module at call time so tests can monkeypatch it.
+    """
+    action, job = args
+    perform_action(action)
+    return campaign_mod._tune_scenario_worker(job)
+
+
 @dataclass
 class ServiceStats:
     """Admission counters for one server lifetime."""
@@ -85,6 +131,9 @@ class ServiceStats:
     failed: int = 0
     rejected_quota: int = 0
     rejected_saturated: int = 0
+    eval_retries: int = 0  # evaluation attempts retried under the policy
+    eval_timeouts: int = 0  # attempts cut off by the per-request deadline
+    executor_rebuilds: int = 0  # broken executors torn down and rebuilt
     client_spent: dict[str, int] = field(default_factory=dict)
 
     def as_dict(self) -> dict:
@@ -97,6 +146,9 @@ class ServiceStats:
             "failed": self.failed,
             "rejected_quota": self.rejected_quota,
             "rejected_saturated": self.rejected_saturated,
+            "eval_retries": self.eval_retries,
+            "eval_timeouts": self.eval_timeouts,
+            "executor_rebuilds": self.executor_rebuilds,
             "client_spent": dict(self.client_spent),
         }
 
@@ -112,6 +164,12 @@ class CampaignServer:
     process pool via :func:`~repro.core.pool.pool_executor`.  Pass
     ``port=0`` to bind an ephemeral port (read it back from ``.port``
     after :meth:`start`).
+
+    ``eval_deadline_s`` bounds every evaluation *attempt* (``None`` =
+    no deadline); ``retry`` is the per-evaluation
+    :class:`~repro.reliability.RetryPolicy` — a crashed or timed-out
+    attempt is retried with deterministic backoff before the cell
+    fails with :class:`EvaluationFailed`.
     """
 
     def __init__(
@@ -124,11 +182,19 @@ class CampaignServer:
         quota: int | None = None,
         processes: int = 0,
         start_method: str | None = None,
+        eval_deadline_s: float | None = None,
+        retry: RetryPolicy | None = None,
     ):
         if max_pending < 1:
             raise ValueError(f"max_pending must be >= 1, got {max_pending}")
         if quota is not None and quota < 0:
             raise ValueError(f"quota must be >= 0, got {quota}")
+        if eval_deadline_s is not None and eval_deadline_s <= 0:
+            raise ValueError(
+                f"eval_deadline_s must be positive, got {eval_deadline_s}"
+            )
+        self.eval_deadline_s = eval_deadline_s
+        self.retry = retry if retry is not None else DEFAULT_RETRY_POLICY
         self.store = store
         self.host = host
         self.port = port
@@ -314,8 +380,25 @@ class CampaignServer:
             await send(event("start", source=SOURCE_COALESCED))
             try:
                 payload = await asyncio.shield(leader)
-            except Exception as exc:  # leader failed; followers report it
-                await send(event("error", error=str(exc)))
+            except BaseException as exc:
+                # Catch BaseException: a cancelled leader surfaces as
+                # CancelledError, which `except Exception` would miss —
+                # the follower hang this guards against.  But if the
+                # leader future is *not* done, the cancellation is our
+                # own task's; re-raise it untouched.
+                if isinstance(exc, asyncio.CancelledError) and not leader.done():
+                    raise
+                detail = str(exc) or "leader evaluation was cancelled"
+                retry_after = getattr(exc, "retry_after", None)
+                await send(
+                    event(
+                        "error",
+                        error=detail,
+                        retry_after=(
+                            retry_after if retry_after is not None else self._retry_after()
+                        ),
+                    )
+                )
                 return "errors"
             await send(event("done", source=SOURCE_COALESCED, payload=payload))
             return "coalesced"
@@ -354,10 +437,32 @@ class CampaignServer:
         started = time.monotonic()
         try:
             payload = await self._evaluate(request, cell)
-        except Exception as exc:
+        except BaseException as exc:
+            # BaseException so a cancelled leader still resolves the
+            # followers' future instead of stranding them on one that
+            # never completes.  Cancellation is translated to a regular
+            # exception for the followers (their own await must not
+            # look cancelled) and then re-raised for this task.
             self.stats.failed += 1
-            future.set_exception(exc)
-            await send(event("error", error=str(exc)))
+            shared = exc
+            if isinstance(exc, asyncio.CancelledError):
+                shared = EvaluationFailed(
+                    "leader evaluation was cancelled",
+                    retry_after=self._retry_after(),
+                )
+            future.set_exception(shared)
+            if isinstance(exc, asyncio.CancelledError):
+                raise
+            retry_after = getattr(exc, "retry_after", None)
+            await send(
+                event(
+                    "error",
+                    error=str(exc),
+                    retry_after=(
+                        retry_after if retry_after is not None else self._retry_after()
+                    ),
+                )
+            )
             return "errors"
         finally:
             del self._in_flight[cell]
@@ -386,6 +491,14 @@ class CampaignServer:
         carries *resolved* specs, not names — process-pool workers have
         fresh registries, where the server's runtime-registered derived
         workloads would not resolve.
+
+        Runs under the server's retry policy: every attempt gets the
+        ``eval_deadline_s`` deadline, crashed attempts (including a
+        broken process pool, which is rebuilt) are retried with
+        deterministic backoff, and an exhausted budget raises
+        :class:`EvaluationFailed` with a ``retry_after`` estimate.
+        Retried attempts recompute the same pure function, so which
+        attempt succeeds is unobservable in the payload.
         """
         kwargs = dict(
             method=cell.method,
@@ -405,12 +518,60 @@ class CampaignServer:
             kwargs,
             campaign_mod._em_cache_snapshot(),
         )
-        report, fresh = await self._loop.run_in_executor(
-            self._executor, campaign_mod._tune_scenario_worker, job
+        policy = self.retry
+        label = f"{cell.workload}@{cell.platform}"
+        last_error = "evaluation failed"
+        for attempt in range(policy.max_attempts):
+            action = maybe_action(SITE_EVALUATION, label)
+            try:
+                report, fresh = await asyncio.wait_for(
+                    self._loop.run_in_executor(
+                        self._executor, _run_eval_job, (action, job)
+                    ),
+                    timeout=self.eval_deadline_s,
+                )
+            except asyncio.TimeoutError:
+                self.stats.eval_timeouts += 1
+                last_error = (
+                    f"evaluation exceeded the {self.eval_deadline_s:g}s deadline"
+                )
+            except asyncio.CancelledError:
+                raise
+            except Exception as exc:
+                last_error = str(exc) or repr(exc)
+                if isinstance(exc, BrokenExecutor):
+                    self._rebuild_executor()
+            else:
+                campaign_mod._merge_em_entries(fresh)
+                self.store.put_scenario(cell, report)
+                return encode_scenario(report)
+            if attempt + 1 >= policy.max_attempts:
+                break
+            self.stats.eval_retries += 1
+            await asyncio.sleep(policy.backoff(attempt))
+        raise EvaluationFailed(
+            f"cell {cell.describe()}: {last_error}",
+            retry_after=self._retry_after(),
         )
-        campaign_mod._merge_em_entries(fresh)
-        self.store.put_scenario(cell, report)
-        return encode_scenario(report)
+
+    def _rebuild_executor(self) -> None:
+        """Replace a broken executor so later attempts have workers.
+
+        A process pool whose worker died abnormally poisons every
+        future submitted to it; tearing it down and rebuilding is the
+        only recovery.  The thread-pool flavor never breaks this way,
+        but the rebuild is harmless there too.
+        """
+        self.stats.executor_rebuilds += 1
+        broken = self._executor
+        if self.processes > 0:
+            self._executor = pool_executor(self.processes, self.start_method)
+        else:
+            self._executor = ThreadPoolExecutor(
+                max_workers=self._workers, thread_name_prefix="repro-eval"
+            )
+        if broken is not None:
+            broken.shutdown(wait=False)
 
     # -- saturation estimate and stats ---------------------------------------
 
@@ -432,7 +593,7 @@ class CampaignServer:
         return round(max(avg, avg * waves), 2)
 
     def stats_payload(self) -> dict:
-        """The ``stats`` op's payload: admission + store counters."""
+        """The ``stats`` op's payload: admission, store, reliability."""
         return {
             "server": {
                 **self.stats.as_dict(),
@@ -441,6 +602,7 @@ class CampaignServer:
                 "max_pending": self.max_pending,
                 "quota": self.quota,
                 "avg_eval_s": round(self._avg_eval_s, 6),
+                "eval_deadline_s": self.eval_deadline_s,
             },
             "store": {
                 **self.store.stats.as_dict(),
@@ -448,4 +610,7 @@ class CampaignServer:
                 "em_entries": self.store.count("em"),
                 "scenario_entries": self.store.count("scenario"),
             },
+            # The process-wide dispatch ledger (campaign fan-outs run in
+            # this process share it with the evaluation loop above).
+            "reliability": reliability_stats().as_dict(),
         }

@@ -32,6 +32,19 @@ size on POSIX), duplicate records for the same key are deterministic-
 identical and first-one-wins at load, and :meth:`ResultStore.refresh`
 tails the file from the last read offset so long-lived processes see
 other writers' entries without re-parsing the whole file.
+
+Crash safety: a writer killed mid-append leaves a *torn tail* — a
+partial line with no newline.  The first :meth:`ResultStore.refresh`
+of a fresh instance (the crash-recovery point) terminates such a tail
+with a newline so it quarantines as one corrupt line instead of
+silently concatenating with the next writer's record (counted in
+``stats.quarantined``).  Failed appends are retried under a
+:class:`~repro.reliability.RetryPolicy` with a defensive leading
+newline, so a torn in-process write never corrupts the following
+record either.  :meth:`ResultStore.compact` rewrites the file without
+corrupt / foreign-schema / duplicate lines via fsync + atomic rename,
+and the ``fsync`` knob trades append throughput for power-loss
+durability.
 """
 
 from __future__ import annotations
@@ -39,7 +52,19 @@ from __future__ import annotations
 import hashlib
 import json
 import os
+import time
 from dataclasses import dataclass
+
+from repro.reliability import (
+    KIND_TORN_WRITE,
+    SITE_STORE_APPEND,
+    SITE_STORE_IO,
+    STORE_RETRY_POLICY,
+    InjectedIOError,
+    RetryPolicy,
+    maybe_action,
+    perform_action,
+)
 
 from ..core.campaign import ScenarioReport
 from ..core.methods import MethodResult
@@ -174,6 +199,8 @@ class StoreStats:
     duplicates: int = 0  # put() skipped: key already present
     invalidated: int = 0  # records skipped: foreign schema version
     corrupt: int = 0  # lines skipped: not parseable JSON records
+    quarantined: int = 0  # torn tails terminated at crash recovery
+    write_retries: int = 0  # failed appends retried under the policy
 
     def as_dict(self) -> dict:
         return {
@@ -183,7 +210,41 @@ class StoreStats:
             "duplicates": self.duplicates,
             "invalidated": self.invalidated,
             "corrupt": self.corrupt,
+            "quarantined": self.quarantined,
+            "write_retries": self.write_retries,
         }
+
+
+@dataclass(frozen=True)
+class CompactionReport:
+    """What :meth:`ResultStore.compact` kept, dropped, and reclaimed."""
+
+    path: str
+    bytes_before: int = 0
+    bytes_after: int = 0
+    kept: int = 0
+    dropped_corrupt: int = 0  # unparseable lines, incl. quarantined tails
+    dropped_foreign: int = 0  # records from other schema versions
+    dropped_duplicates: int = 0  # later records for an already-seen key
+
+    @property
+    def reclaimed(self) -> int:
+        """Bytes the rewrite gave back."""
+        return self.bytes_before - self.bytes_after
+
+    @property
+    def dropped(self) -> int:
+        """Total lines dropped."""
+        return self.dropped_corrupt + self.dropped_foreign + self.dropped_duplicates
+
+    def describe(self) -> str:
+        """One human line, printed by ``repro store compact``."""
+        return (
+            f"kept {self.kept} records, dropped {self.dropped} lines "
+            f"({self.dropped_corrupt} corrupt, {self.dropped_foreign} foreign-schema, "
+            f"{self.dropped_duplicates} duplicate), reclaimed {self.reclaimed} bytes "
+            f"({self.bytes_before} -> {self.bytes_after})"
+        )
 
 
 class ResultStore:
@@ -197,13 +258,25 @@ class ResultStore:
     cache's ``setdefault`` merge rule.
     """
 
-    def __init__(self, path: str, *, schema_version: int = STORE_SCHEMA_VERSION):
+    def __init__(
+        self,
+        path: str,
+        *,
+        fsync: str = "never",
+        retry: RetryPolicy | None = None,
+        schema_version: int = STORE_SCHEMA_VERSION,
+    ):
+        if fsync not in ("never", "always"):
+            raise ValueError(f"fsync must be 'never' or 'always', got {fsync!r}")
         self.path = str(path)
+        self.fsync = fsync
+        self.retry = retry if retry is not None else STORE_RETRY_POLICY
         self.schema_version = int(schema_version)
         self.stats = StoreStats()
         self._entries: dict[tuple[str, str], dict] = {}
         self._meta: dict[tuple[str, str], dict] = {}
         self._offset = 0
+        self._recovered = False  # flips after the first (crash-recovery) refresh
         self.refresh()
 
     def __len__(self) -> int:
@@ -216,22 +289,55 @@ class ResultStore:
 
         Only complete lines are consumed: a concurrent writer's partial
         line stays in the file until its newline lands, so the offset
-        never advances past a record boundary.
+        never advances past a record boundary.  The *initial* refresh
+        of an instance — the crash-recovery point — is the exception:
+        an unterminated tail there is a crashed writer's torn line, so
+        it is terminated with a newline and quarantined (a complete
+        record that merely lost its newline is adopted instead).
         """
+        initial = not self._recovered
+        self._recovered = True
         if not os.path.exists(self.path):
             return 0
         with open(self.path, "rb") as fh:
             fh.seek(self._offset)
             chunk = fh.read()
         end = chunk.rfind(b"\n")
-        if end < 0:
-            return 0
-        self._offset += end + 1
         adopted = 0
-        for line in chunk[: end + 1].splitlines():
-            if self._adopt_line(line):
-                adopted += 1
+        if end >= 0:
+            self._offset += end + 1
+            for line in chunk[: end + 1].splitlines():
+                if self._adopt_line(line):
+                    adopted += 1
+        tail = chunk[end + 1 :]
+        if tail and initial:
+            adopted += self._quarantine_torn_tail(tail)
         return adopted
+
+    def _quarantine_torn_tail(self, tail: bytes) -> int:
+        """Terminate a crashed writer's torn tail; adopt it if whole.
+
+        Appends a newline (``O_APPEND``) so the partial line becomes one
+        self-contained corrupt record rather than a prefix of the next
+        writer's line.  Runs only on the initial refresh: later on, an
+        unterminated tail may be a *live* concurrent writer mid-line,
+        which must be left alone.
+        """
+        fd = os.open(self.path, os.O_WRONLY | os.O_APPEND)
+        try:
+            os.write(fd, b"\n")
+            if self.fsync == "always":
+                os.fsync(fd)
+        finally:
+            os.close(fd)
+        self._offset += len(tail) + 1
+        before = self.stats.corrupt
+        if self._adopt_line(tail):
+            return 1  # a complete record that only lost its newline
+        if self.stats.corrupt > before:
+            self.stats.corrupt = before
+            self.stats.quarantined += 1
+        return 0
 
     def _adopt_line(self, line: bytes) -> bool:
         line = line.strip()
@@ -258,11 +364,52 @@ class ResultStore:
         return True
 
     def _append(self, record: dict) -> None:
-        line = json.dumps(record, separators=(",", ":")) + "\n"
+        """Append one record line, retrying transient write failures.
+
+        A failed attempt may have written partial bytes (a torn line),
+        so every retry leads with a defensive newline: the torn prefix
+        then quarantines as one corrupt line and the retried record
+        lands whole.  The retry budget comes from the store's policy
+        (deterministic backoff); a write that keeps failing propagates
+        after the last attempt.
+        """
+        line = (json.dumps(record, separators=(",", ":")) + "\n").encode("utf-8")
+        kind = str(record.get("kind", "?"))
+        policy = self.retry
+        for attempt in range(policy.max_attempts):
+            payload = line if attempt == 0 else b"\n" + line
+            try:
+                self._write_line(payload, kind)
+                return
+            except OSError:
+                if attempt + 1 >= policy.max_attempts:
+                    raise
+                self.stats.write_retries += 1
+                delay = policy.backoff(attempt)
+                if delay > 0:
+                    time.sleep(delay)
+
+    def _write_line(self, payload: bytes, kind: str) -> None:
+        """One append attempt: the only place store bytes hit the disk.
+
+        Fault-injection sites: :data:`~repro.reliability.SITE_STORE_IO`
+        fails the attempt before any byte is written (a transient I/O
+        error); :data:`~repro.reliability.SITE_STORE_APPEND` tears the
+        write — half the payload lands, then the attempt fails — which
+        is the store performing its own torn-write fault (it owns the
+        bytes).  Both are disarmed no-ops in production.
+        """
+        perform_action(maybe_action(SITE_STORE_IO, kind))
+        torn = maybe_action(SITE_STORE_APPEND, kind)
         # O_APPEND: concurrent writers interleave whole lines, never bytes.
         fd = os.open(self.path, os.O_WRONLY | os.O_CREAT | os.O_APPEND, 0o644)
         try:
-            os.write(fd, line.encode("utf-8"))
+            if torn is not None and torn.kind == KIND_TORN_WRITE:
+                os.write(fd, payload[: max(1, len(payload) // 2)])
+                raise InjectedIOError(f"injected torn append to {self.path}")
+            os.write(fd, payload)
+            if self.fsync == "always":
+                os.fsync(fd)
         finally:
             os.close(fd)
 
@@ -330,6 +477,66 @@ class ResultStore:
         """Persist one served cell; False when the key already exists."""
         meta = {"cell": cell.describe()}
         return self._put(KIND_SCENARIO, cell.digest(), meta, encode_scenario(report))
+
+    # -- compaction ----------------------------------------------------------
+
+    def compact(self) -> "CompactionReport":
+        """Rewrite the file keeping only live records; atomic swap.
+
+        Drops corrupt/quarantined lines, foreign-schema records, and
+        duplicate keys (first-one-wins, matching load order), then
+        replaces the store file via write-to-temp + fsync +
+        ``os.replace`` — a crash at any point leaves either the old
+        file or the new one, never a mix.  The in-memory index is
+        unchanged (the kept records are exactly what load would adopt);
+        the read offset moves to the new end-of-file.
+        """
+        self.refresh()
+        if not os.path.exists(self.path):
+            return CompactionReport(path=self.path)
+        with open(self.path, "rb") as fh:
+            raw = fh.read()
+        report_kwargs = dict(
+            dropped_corrupt=0, dropped_foreign=0, dropped_duplicates=0
+        )
+        seen: set[tuple[str, str]] = set()
+        kept: list[bytes] = []
+        for line in raw.splitlines():
+            stripped = line.strip()
+            if not stripped:
+                continue  # blank padding (defensive-newline retries)
+            try:
+                record = json.loads(stripped)
+                entry = (record["kind"], record["key"])
+                schema = record["schema"]
+            except (ValueError, KeyError, TypeError):
+                report_kwargs["dropped_corrupt"] += 1
+                continue
+            if schema != self.schema_version:
+                report_kwargs["dropped_foreign"] += 1
+                continue
+            if entry in seen:
+                report_kwargs["dropped_duplicates"] += 1
+                continue
+            seen.add(entry)
+            kept.append(stripped)
+        payload = b"".join(line + b"\n" for line in kept)
+        tmp = self.path + ".compact.tmp"
+        fd = os.open(tmp, os.O_WRONLY | os.O_CREAT | os.O_TRUNC, 0o644)
+        try:
+            os.write(fd, payload)
+            os.fsync(fd)
+        finally:
+            os.close(fd)
+        os.replace(tmp, self.path)
+        self._offset = len(payload)
+        return CompactionReport(
+            path=self.path,
+            bytes_before=len(raw),
+            bytes_after=len(payload),
+            kept=len(kept),
+            **report_kwargs,
+        )
 
     # -- introspection -------------------------------------------------------
 

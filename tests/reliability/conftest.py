@@ -1,0 +1,20 @@
+"""Chaos tests run with faults disarmed and clean reliability ledgers."""
+
+import pytest
+
+from repro.core import campaign
+from repro.reliability import disarm_faults, reset_reliability_stats
+
+
+@pytest.fixture(autouse=True)
+def clean_reliability_state():
+    """Isolate each test: no armed plan, zeroed ledgers, fresh caches."""
+    disarm_faults()
+    reset_reliability_stats()
+    campaign.clear_em_cache()
+    previous = campaign.set_result_store(None)
+    yield
+    campaign.set_result_store(previous)
+    campaign.clear_em_cache()
+    reset_reliability_stats()
+    disarm_faults()

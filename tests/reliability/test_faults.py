@@ -1,0 +1,147 @@
+"""Seeded fault plans and injectors (reliability/faults.py)."""
+
+import time
+
+import pytest
+
+from repro.reliability import (
+    KIND_CRASH,
+    KIND_HANG,
+    KIND_IO_ERROR,
+    KIND_TORN_WRITE,
+    SITE_POOL_TASK,
+    SITE_STORE_APPEND,
+    FaultAction,
+    FaultInjector,
+    FaultPlan,
+    FaultSpec,
+    InjectedCrash,
+    InjectedIOError,
+    armed_injector,
+    injected_faults,
+    maybe_action,
+    perform_action,
+)
+
+
+class TestFaultSpec:
+    def test_validation(self):
+        with pytest.raises(ValueError, match="after"):
+            FaultSpec("s", KIND_CRASH, after=-1)
+        with pytest.raises(ValueError, match="times"):
+            FaultSpec("s", KIND_CRASH, times=0)
+        with pytest.raises(ValueError, match="duration_s"):
+            FaultSpec("s", KIND_HANG)  # hangs need a positive duration
+
+    def test_frozen_defaults(self):
+        spec = FaultSpec("s", KIND_CRASH)
+        assert (spec.match, spec.after, spec.times) == (None, 0, 1)
+
+
+class TestFaultPlan:
+    def test_same_seed_same_plan(self):
+        assert FaultPlan.adversarial(5, tasks=8) == FaultPlan.adversarial(5, tasks=8)
+        assert FaultPlan.adversarial_service(5) == FaultPlan.adversarial_service(5)
+
+    def test_seed_moves_the_faults(self):
+        plans = {FaultPlan.adversarial(s, tasks=16).specs for s in range(8)}
+        assert len(plans) > 1  # the adversary is seed-addressed, not fixed
+
+    def test_crash_and_hang_hit_distinct_tasks(self):
+        for seed in range(16):
+            plan = FaultPlan.adversarial(seed, tasks=4)
+            crash, hang = plan.specs[0], plan.specs[1]
+            assert crash.kind == KIND_CRASH and hang.kind == KIND_HANG
+            assert crash.match != hang.match
+            assert int(crash.match) in range(4) and int(hang.match) in range(4)
+
+    def test_single_task_plan_is_legal(self):
+        plan = FaultPlan.adversarial(3, tasks=1)
+        assert plan.specs[0].match == plan.specs[1].match == "0"
+
+    def test_tasks_validated(self):
+        with pytest.raises(ValueError, match="tasks"):
+            FaultPlan.adversarial(0, tasks=0)
+
+
+class TestFaultInjector:
+    def test_firing_window(self):
+        plan = FaultPlan(specs=(FaultSpec("x", KIND_CRASH, after=1, times=2),))
+        injector = FaultInjector(plan)
+        fired = [injector.action("x") is not None for _ in range(5)]
+        assert fired == [False, True, True, False, False]
+
+    def test_match_keying(self):
+        plan = FaultPlan(specs=(FaultSpec("x", KIND_CRASH, match="a"),))
+        injector = FaultInjector(plan)
+        assert injector.action("x", "b") is None  # wrong key: not even counted
+        assert injector.action("x", "a") is not None
+        assert injector.action("x", "a") is None  # window consumed
+
+    def test_site_isolation(self):
+        plan = FaultPlan(specs=(FaultSpec("x", KIND_CRASH),))
+        injector = FaultInjector(plan)
+        assert injector.action("y") is None
+        assert injector.action("x") is not None
+
+    def test_one_hit_consumes_every_matching_spec(self):
+        # Two specs on the same site advance together; the first in-window
+        # spec wins the hit and the second never fires on a later hit.
+        plan = FaultPlan(
+            specs=(FaultSpec("x", KIND_CRASH), FaultSpec("x", KIND_IO_ERROR))
+        )
+        injector = FaultInjector(plan)
+        first = injector.action("x")
+        assert first is not None and first.kind == KIND_CRASH
+        assert injector.action("x") is None
+
+    def test_fired_counts_by_site_and_kind(self):
+        plan = FaultPlan(specs=(FaultSpec(SITE_POOL_TASK, KIND_CRASH, times=2),))
+        injector = FaultInjector(plan)
+        assert injector.fired() == {}
+        for _ in range(3):
+            injector.action(SITE_POOL_TASK)
+        assert injector.fired() == {f"{SITE_POOL_TASK}:{KIND_CRASH}": 2}
+
+
+class TestArming:
+    def test_disarmed_is_a_noop(self):
+        assert armed_injector() is None
+        assert maybe_action(SITE_POOL_TASK, "0") is None
+
+    def test_injected_faults_arms_for_the_block(self):
+        plan = FaultPlan(specs=(FaultSpec(SITE_STORE_APPEND, KIND_TORN_WRITE),))
+        with injected_faults(plan) as injector:
+            assert armed_injector() is injector
+            action = maybe_action(SITE_STORE_APPEND, "em")
+            assert action is not None and action.kind == KIND_TORN_WRITE
+        assert armed_injector() is None
+
+    def test_disarms_even_on_error(self):
+        with pytest.raises(RuntimeError):
+            with injected_faults(FaultPlan()):
+                raise RuntimeError("boom")
+        assert armed_injector() is None
+
+
+class TestPerformAction:
+    def test_none_is_a_noop(self):
+        perform_action(None)
+
+    def test_crash_raises(self):
+        with pytest.raises(InjectedCrash, match="site"):
+            perform_action(FaultAction(KIND_CRASH, "site", "0"))
+
+    def test_io_error_raises_oserror(self):
+        with pytest.raises(InjectedIOError):
+            perform_action(FaultAction(KIND_IO_ERROR, "site", "em"))
+        assert issubclass(InjectedIOError, OSError)
+
+    def test_hang_sleeps_for_the_duration(self):
+        t0 = time.monotonic()
+        perform_action(FaultAction(KIND_HANG, "site", "0", duration_s=0.02))
+        assert time.monotonic() - t0 >= 0.02
+
+    def test_torn_write_is_the_stores_job(self):
+        # The store owns the bytes; the generic performer must not raise.
+        perform_action(FaultAction(KIND_TORN_WRITE, "site", "em"))

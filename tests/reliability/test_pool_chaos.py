@@ -1,0 +1,125 @@
+"""Fault-tolerant pooled dispatch (core/pool.py) under seeded adversaries.
+
+The pooled chaos tests pin ``start_method="fork"`` deliberately: these
+test modules are not importable by spawned children (pytest loads them
+outside any package), and ``fork`` inherits them by memory.  The
+dispatch layer itself is start-method independent — pinned by the
+campaign start-method regression tests.
+"""
+
+import multiprocessing
+
+import pytest
+
+from repro.core import pool as pool_mod
+from repro.core.pool import pool_context, run_tasks
+from repro.reliability import (
+    FaultPlan,
+    RetryPolicy,
+    injected_faults,
+    reliability_stats,
+)
+
+FAST = RetryPolicy(max_attempts=3, backoff_s=0.01, max_backoff_s=0.05)
+POOLED = RetryPolicy(max_attempts=3, timeout_s=1.0, backoff_s=0.01, max_backoff_s=0.05)
+
+fork_only = pytest.mark.skipif(
+    "fork" not in multiprocessing.get_all_start_methods(),
+    reason="pooled chaos tests inherit test-module workers via fork",
+)
+
+
+def _double(job):
+    return job * 2
+
+
+def _explode(job):
+    raise ValueError(f"deterministic bug for {job!r}")
+
+
+class TestSerialDispatch:
+    def test_fault_free_batch(self):
+        results, stats = run_tasks(_double, range(6))
+        assert results == [0, 2, 4, 6, 8, 10]
+        assert stats.clean and stats.attempts == 6
+
+    def test_recovers_from_the_adversary(self):
+        plan = FaultPlan.adversarial(seed=3, tasks=5, hang_s=0.02)
+        with injected_faults(plan):
+            results, stats = run_tasks(_double, range(5), policy=FAST)
+        assert results == [0, 2, 4, 6, 8]
+        assert stats.crashes >= 1 and stats.retries >= 1
+
+    def test_genuine_errors_still_propagate(self):
+        # The final serial rung runs fault-free, so a deterministic bug
+        # in the worker surfaces instead of being eaten by the ladder.
+        with pytest.raises(ValueError, match="deterministic bug"):
+            run_tasks(_explode, [42], policy=FAST)
+
+    def test_ledger_merges_into_the_process_aggregate(self):
+        _, stats = run_tasks(_double, range(3))
+        assert reliability_stats().attempts >= stats.attempts
+
+
+@fork_only
+class TestPooledChaos:
+    def test_bit_identity_under_the_adversary(self):
+        baseline, clean = run_tasks(_double, range(6))
+        assert clean.clean
+        plan = FaultPlan.adversarial(seed=7, tasks=6, hang_s=2.5)
+        with injected_faults(plan):
+            chaotic, stats = run_tasks(
+                _double, range(6), processes=3, start_method="fork", policy=POOLED
+            )
+        assert chaotic == baseline  # the headline invariant
+        assert not stats.clean  # ...but the ladder was climbed
+        assert stats.crashes + stats.timeouts >= 1
+
+    def test_hang_triggers_rebuild_then_completion(self):
+        plan = FaultPlan.adversarial(seed=11, tasks=4, hang_s=2.5)
+        with injected_faults(plan):
+            results, stats = run_tasks(
+                _double, range(4), processes=2, start_method="fork", policy=POOLED
+            )
+        assert results == [0, 2, 4, 6]
+        assert stats.timeouts >= 1
+        assert stats.pool_rebuilds >= 1
+        assert any(e.reason == "pool-rebuild" for e in stats.events)
+
+
+class TestDegradedDispatch:
+    def test_pool_unavailable_falls_back_to_serial(self, monkeypatch):
+        class BrokenContext:
+            def Pool(self, size):
+                raise OSError("no worker processes on this box")
+
+        monkeypatch.setattr(
+            pool_mod, "pool_context", lambda prefer=None: BrokenContext()
+        )
+        results, stats = run_tasks(_double, range(4), processes=2, policy=FAST)
+        assert results == [0, 2, 4, 6]
+        assert stats.degradations >= 1
+        assert any(e.reason == "pool-unavailable" for e in stats.events)
+
+
+class TestStartMethodFallback:
+    @pytest.mark.skipif(
+        "forkserver" not in multiprocessing.get_all_start_methods()
+        or "spawn" not in multiprocessing.get_all_start_methods(),
+        reason="needs two candidate start methods to fall between",
+    )
+    def test_broken_preferred_method_is_skipped(self, monkeypatch):
+        real = multiprocessing.get_context
+
+        def hardened(method=None):
+            if method == "forkserver":
+                raise OSError("forkserver disabled by the container")
+            return real(method) if method is not None else real()
+
+        monkeypatch.setattr(pool_mod.multiprocessing, "get_context", hardened)
+        assert pool_context().get_start_method() == "spawn"
+
+    def test_explicitly_requested_broken_method_still_raises(self, monkeypatch):
+        # prefer= is a pin, not a preference: the caller asked for it.
+        with pytest.raises(ValueError, match="not available"):
+            pool_context("no-such-method")

@@ -1,0 +1,229 @@
+"""Serve/submit cycles under seeded fault plans (service-layer chaos).
+
+Servers here run the in-process thread executor (``processes=0``), so
+the armed injector's counters are visible to both the decision point
+(the event loop) and the performing thread — the same parent-decides
+model the pooled dispatch uses.
+"""
+
+import asyncio
+import socket
+import threading
+
+import pytest
+
+from repro.reliability import (
+    KIND_HANG,
+    SITE_EVALUATION,
+    FaultPlan,
+    FaultSpec,
+    RetryPolicy,
+    injected_faults,
+)
+from repro.service import CampaignServer, ResultStore, ServiceClient, SubmitRequest
+from repro.service.client import ServiceConnectionError, cell_results
+
+SIZE_MB = 600.0
+ITERS = 60
+
+REQUEST = dict(
+    workloads=("short-read",),
+    platforms=("emil",),
+    method="SAM",
+    size_mb=SIZE_MB,
+    iterations=ITERS,
+)
+
+EVAL_RETRY = RetryPolicy(max_attempts=3, backoff_s=0.01, max_backoff_s=0.05)
+
+
+def serve(coro_fn, tmp_path, **server_kwargs):
+    """Run ``coro_fn(server)`` against a started server; return its result."""
+
+    async def main():
+        store = ResultStore(tmp_path / "store.jsonl")
+        server = await CampaignServer(store, port=0, **server_kwargs).start()
+        try:
+            return await coro_fn(server)
+        finally:
+            await server.stop()
+
+    return asyncio.run(main())
+
+
+async def submit_once(server, **overrides):
+    async with ServiceClient(port=server.port) as client:
+        return await client.submit(SubmitRequest(**{**REQUEST, **overrides}))
+
+
+def done_payload(events):
+    (cell,) = cell_results(events)
+    assert cell["status"] == "done", cell
+    return cell["payload"]
+
+
+class TestServiceBitIdentity:
+    def test_adversarial_cycle_serves_identical_bytes(self, tmp_path):
+        async def scenario(server):
+            return await submit_once(server)
+
+        clean_dir, chaos_dir = tmp_path / "clean", tmp_path / "chaos"
+        clean_dir.mkdir()
+        chaos_dir.mkdir()
+        baseline = serve(scenario, clean_dir)
+
+        plan = FaultPlan.adversarial_service(seed=4, hang_s=2.5)
+        with injected_faults(plan):
+            chaotic = serve(
+                scenario,
+                chaos_dir,
+                eval_deadline_s=1.0,
+                retry=EVAL_RETRY,
+            )
+        assert done_payload(chaotic) == done_payload(baseline)
+
+    def test_retry_counters_surface_in_stats(self, tmp_path):
+        async def scenario(server):
+            events = await submit_once(server)
+            return events, server.stats, server.store.stats, server.stats_payload()
+
+        plan = FaultPlan.adversarial_service(seed=4, hang_s=2.5)
+        with injected_faults(plan):
+            events, stats, store_stats, payload = serve(
+                scenario, tmp_path, eval_deadline_s=1.0, retry=EVAL_RETRY
+            )
+        assert done_payload(events)  # the cell still completed
+        assert stats.eval_retries >= 2  # one crash + one deadline overrun
+        assert stats.eval_timeouts >= 1
+        assert store_stats.write_retries >= 1  # torn/transient store faults
+        assert payload["reliability"]["attempts"] >= 0  # ledger is wired through
+        assert payload["server"]["eval_retries"] == stats.eval_retries
+        assert payload["server"]["eval_deadline_s"] == 1.0
+
+
+class TestEvaluationFailure:
+    def test_spent_budget_is_a_structured_error_event(self, tmp_path, monkeypatch):
+        def doomed(args):
+            raise RuntimeError("substrate on fire")
+
+        from repro.service import server as server_mod
+
+        monkeypatch.setattr(server_mod, "_run_eval_job", doomed)
+
+        async def scenario(server):
+            return await submit_once(server)
+
+        events = serve(
+            scenario,
+            tmp_path,
+            retry=RetryPolicy(max_attempts=2, backoff_s=0.0, jitter=0.0),
+        )
+        (cell,) = cell_results(events)
+        assert cell["status"] == "error"
+        assert "substrate on fire" in cell["error"]
+        assert cell["retry_after"] > 0
+        assert events[-1]["event"] == "done"
+
+    def test_deadline_overruns_report_the_deadline(self, tmp_path):
+        plan = FaultPlan(
+            specs=(
+                FaultSpec(SITE_EVALUATION, KIND_HANG, times=99, duration_s=2.5),
+            )
+        )
+
+        async def scenario(server):
+            return await submit_once(server)
+
+        with injected_faults(plan):
+            events = serve(
+                scenario,
+                tmp_path,
+                eval_deadline_s=0.3,
+                retry=RetryPolicy(max_attempts=2, backoff_s=0.0, jitter=0.0),
+            )
+        (cell,) = cell_results(events)
+        assert cell["status"] == "error"
+        assert "deadline" in cell["error"]
+
+    def test_coalesced_follower_sees_the_leaders_failure(self, tmp_path, monkeypatch):
+        """A follower awaiting a doomed leader gets an error event, not a hang."""
+        follower_joined = threading.Event()
+        from repro.service import server as server_mod
+
+        def doomed(args):
+            # Hold the leader until the follower has visibly coalesced,
+            # then fail every attempt.
+            follower_joined.wait(timeout=10)
+            raise RuntimeError("leader died mid-cell")
+
+        monkeypatch.setattr(server_mod, "_run_eval_job", doomed)
+
+        async def scenario(server):
+            leader = asyncio.create_task(submit_once(server))
+            while not server._in_flight:
+                await asyncio.sleep(0.01)
+            follower = asyncio.create_task(submit_once(server))
+            while server.stats.coalesced == 0:
+                await asyncio.sleep(0.01)
+            follower_joined.set()
+            return await asyncio.gather(leader, follower)
+
+        leader_events, follower_events = serve(
+            scenario,
+            tmp_path,
+            retry=RetryPolicy(max_attempts=2, backoff_s=0.0, jitter=0.0),
+        )
+        for events in (leader_events, follower_events):
+            (cell,) = cell_results(events)
+            assert cell["status"] == "error"
+            assert "leader died mid-cell" in cell["error"]
+            assert cell["retry_after"] > 0
+
+
+class TestConnectRetry:
+    def _dead_port(self):
+        with socket.socket() as sock:
+            sock.bind(("127.0.0.1", 0))
+            return sock.getsockname()[1]
+
+    def test_unreachable_server_names_host_port_and_attempts(self):
+        port = self._dead_port()
+        client = ServiceClient(
+            "127.0.0.1", port, retry=RetryPolicy(max_attempts=2, backoff_s=0.0)
+        )
+        with pytest.raises(ServiceConnectionError) as err:
+            asyncio.run(client.connect())
+        message = str(err.value)
+        assert f"127.0.0.1:{port}" in message
+        assert "2 attempt(s)" in message
+
+    def test_connection_error_except_clauses_still_catch_it(self):
+        assert issubclass(ServiceConnectionError, ConnectionError)
+
+    def test_retry_bridges_a_server_that_comes_up_late(self, tmp_path):
+        async def main():
+            with socket.socket() as probe:
+                probe.bind(("127.0.0.1", 0))
+                port = probe.getsockname()[1]
+            store = ResultStore(tmp_path / "store.jsonl")
+            server = CampaignServer(store, port=port)
+            started = asyncio.create_task(self._start_later(server))
+            client = ServiceClient(
+                "127.0.0.1",
+                port,
+                retry=RetryPolicy(max_attempts=8, backoff_s=0.05, jitter=0.0),
+            )
+            try:
+                async with client:
+                    return await client.stats()
+            finally:
+                await started
+                await server.stop()
+
+        payload = asyncio.run(main())
+        assert "server" in payload
+
+    @staticmethod
+    async def _start_later(server):
+        await asyncio.sleep(0.15)
+        await server.start()

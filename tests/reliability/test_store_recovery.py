@@ -1,0 +1,199 @@
+"""Crash-safe store recovery: torn tails, write retries, compaction."""
+
+import json
+import os
+
+import pytest
+
+from repro.core.params import workload_space
+from repro.core.methods import run_method
+from repro.core.campaign import _em_cache_key
+from repro.dna.workloads import get_workload
+from repro.machines import get_platform
+from repro.machines.simulator import PlatformSimulator
+from repro.reliability import (
+    KIND_IO_ERROR,
+    KIND_TORN_WRITE,
+    SITE_STORE_APPEND,
+    SITE_STORE_IO,
+    FaultPlan,
+    FaultSpec,
+    RetryPolicy,
+    injected_faults,
+)
+from repro.service import ResultStore
+from repro.service.store import STORE_SCHEMA_VERSION
+
+SIZE_MB = 600.0
+QUICK = RetryPolicy(max_attempts=3, backoff_s=0.0, max_backoff_s=0.0, jitter=0.0)
+
+
+def em_reference():
+    spec = get_platform("emil")
+    workload = get_workload("short-read")
+    space = workload_space(workload, spec)
+    sim = PlatformSimulator(spec, workload.profile(), seed=0)
+    result = run_method("EM", space, sim, SIZE_MB)
+    return _em_cache_key(spec, workload, space, SIZE_MB, 0, None), result
+
+
+class TestTornTailRecovery:
+    def test_torn_tail_is_quarantined_on_restart(self, tmp_path):
+        path = tmp_path / "s.jsonl"
+        key, result = em_reference()
+        ResultStore(path).put_em(key, result)
+        with open(path, "ab") as fh:
+            fh.write(b'{"schema":2,"kind":"em","key":"crash')  # no newline
+        recovered = ResultStore(path)
+        assert recovered.stats.quarantined == 1
+        assert recovered.count("em") == 1
+        assert recovered.get_em(key) == result
+
+    def test_quarantined_tail_stays_one_corrupt_line(self, tmp_path):
+        # After recovery the file is newline-terminated again: a third
+        # open sees one ordinary corrupt line, not a fresh torn tail.
+        path = tmp_path / "s.jsonl"
+        key, result = em_reference()
+        ResultStore(path).put_em(key, result)
+        with open(path, "ab") as fh:
+            fh.write(b'{"half":')
+        ResultStore(path)  # quarantines
+        third = ResultStore(path)
+        assert third.stats.quarantined == 0
+        assert third.stats.corrupt == 1
+        assert third.count("em") == 1
+
+    def test_complete_record_missing_only_its_newline_is_adopted(self, tmp_path):
+        path = tmp_path / "s.jsonl"
+        key, result = em_reference()
+        ResultStore(path).put_em(key, result)
+        raw = path.read_bytes()
+        path.write_bytes(raw.rstrip(b"\n"))  # the crash ate just the newline
+        recovered = ResultStore(path)
+        assert recovered.stats.quarantined == 0
+        assert recovered.count("em") == 1
+        assert recovered.get_em(key) == result
+
+    def test_live_writers_tail_is_left_alone(self, tmp_path):
+        # Only the *initial* refresh quarantines: later unterminated
+        # bytes may be a concurrent writer mid-line.
+        path = tmp_path / "s.jsonl"
+        store = ResultStore(path)
+        key, result = em_reference()
+        store.put_em(key, result)
+        with open(path, "ab") as fh:
+            fh.write(b'{"partial":')
+        before = path.read_bytes()
+        assert store.refresh() == 0
+        assert path.read_bytes() == before
+        assert store.stats.quarantined == 0
+
+
+class TestWriteRetries:
+    def test_torn_and_transient_failures_are_retried(self, tmp_path):
+        # Attempt 1 dies at the I/O site before the append site is even
+        # consulted; attempt 2 is the append site's first hit and tears.
+        plan = FaultPlan(
+            specs=(
+                FaultSpec(SITE_STORE_IO, KIND_IO_ERROR),
+                FaultSpec(SITE_STORE_APPEND, KIND_TORN_WRITE),
+            )
+        )
+        path = tmp_path / "s.jsonl"
+        key, result = em_reference()
+        store = ResultStore(path, retry=QUICK)
+        with injected_faults(plan):
+            assert store.put_em(key, result)
+        assert store.stats.write_retries == 2
+        # The surviving file replays cleanly: the torn half-line is one
+        # corrupt record, the retried record is whole.
+        reopened = ResultStore(path)
+        assert reopened.get_em(key) == result
+        assert reopened.count("em") == 1
+        assert reopened.stats.corrupt == 1
+
+    def test_spent_budget_propagates_the_io_error(self, tmp_path):
+        plan = FaultPlan(
+            specs=(FaultSpec(SITE_STORE_IO, KIND_IO_ERROR, times=99),)
+        )
+        store = ResultStore(tmp_path / "s.jsonl", retry=QUICK)
+        key, result = em_reference()
+        with injected_faults(plan):
+            with pytest.raises(OSError):
+                store.put_em(key, result)
+
+    def test_fsync_knob_is_validated(self, tmp_path):
+        with pytest.raises(ValueError, match="fsync"):
+            ResultStore(tmp_path / "s.jsonl", fsync="sometimes")
+
+    def test_fsync_always_round_trips(self, tmp_path):
+        path = tmp_path / "s.jsonl"
+        key, result = em_reference()
+        ResultStore(path, fsync="always").put_em(key, result)
+        assert ResultStore(path, fsync="always").get_em(key) == result
+
+
+class TestCompaction:
+    def test_drops_corrupt_foreign_and_duplicate_lines(self, tmp_path):
+        path = tmp_path / "s.jsonl"
+        key, result = em_reference()
+        store = ResultStore(path)
+        store.put_em(key, result)
+        live = path.read_bytes()
+        foreign = json.dumps(
+            {
+                "schema": STORE_SCHEMA_VERSION + 1,
+                "kind": "em",
+                "key": "old",
+                "payload": {},
+            }
+        ).encode()
+        with open(path, "ab") as fh:
+            fh.write(b"not json at all\n")
+            fh.write(foreign + b"\n")
+            fh.write(live)  # a byte-identical duplicate record
+        report = store.compact()
+        assert report.kept == 1
+        assert report.dropped_corrupt == 1
+        assert report.dropped_foreign == 1
+        assert report.dropped_duplicates == 1
+        assert report.reclaimed > 0
+        assert report.bytes_after == os.path.getsize(path)
+        # The rewritten file replays with zero noise.
+        clean = ResultStore(path)
+        assert clean.get_em(key) == result
+        assert (clean.stats.corrupt, clean.stats.invalidated) == (0, 0)
+
+    def test_keeps_quarantine_out_of_the_rewrite(self, tmp_path):
+        path = tmp_path / "s.jsonl"
+        key, result = em_reference()
+        ResultStore(path).put_em(key, result)
+        with open(path, "ab") as fh:
+            fh.write(b'{"torn":')
+        recovered = ResultStore(path)
+        report = recovered.compact()
+        assert report.dropped_corrupt == 1
+        assert ResultStore(path).stats.corrupt == 0
+
+    def test_leaves_no_temp_file_behind(self, tmp_path):
+        path = tmp_path / "s.jsonl"
+        store = ResultStore(path)
+        key, result = em_reference()
+        store.put_em(key, result)
+        store.compact()
+        assert not os.path.exists(str(path) + ".compact.tmp")
+
+    def test_missing_file_is_an_empty_report(self, tmp_path):
+        report = ResultStore(tmp_path / "absent.jsonl").compact()
+        assert report.kept == 0 and report.dropped == 0 and report.reclaimed == 0
+
+    def test_store_survives_compaction_mid_session(self, tmp_path):
+        # Appends after a compaction land after the rewritten payload:
+        # the offset moved with the rename, so nothing is re-read twice.
+        path = tmp_path / "s.jsonl"
+        store = ResultStore(path)
+        key, result = em_reference()
+        store.put_em(key, result)
+        store.compact()
+        assert store.refresh() == 0
+        assert store.get_em(key) == result

@@ -1,0 +1,146 @@
+#!/usr/bin/env python
+"""CI chaos smoke: seeded fault plans must not change a single byte.
+
+Runs the reliability stack's headline invariant end to end, with the
+package installed (unlike ``check_docs.py`` this needs NumPy):
+
+1. a pooled ``tune_matrix`` under an adversarial fault plan — one cell
+   crashing, one hanging past the per-attempt deadline — must return a
+   result **equal** to the fault-free run, while its retry ledger
+   proves the adversary actually bit (nonzero retry/timeout counters);
+2. a ``ResultStore`` append under torn-write + transient-I/O faults
+   must survive with retries, replay bit-identically after a reopen,
+   and compact away the quarantined debris.
+
+Exit status 0 = both invariants hold.  Usage: chaos_smoke_check.py
+(no arguments; everything is derived from the pinned seed).
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import sys
+import tempfile
+from pathlib import Path
+
+from repro.core import tune_matrix, tune_scenario
+from repro.core.options import TuningOptions
+from repro.reliability import (
+    KIND_IO_ERROR,
+    KIND_TORN_WRITE,
+    SITE_STORE_APPEND,
+    SITE_STORE_IO,
+    FaultPlan,
+    FaultSpec,
+    RetryPolicy,
+    injected_faults,
+)
+from repro.service import CellKey, ResultStore
+
+SEED = 9
+WORKLOADS = ("dna-paper", "short-read")
+PLATFORMS = ("emil", "slowlink")
+ITERS = 150
+SIZE_MB = 600.0
+
+
+def require(condition: bool, message: str) -> None:
+    if not condition:
+        raise SystemExit(f"chaos smoke FAILED: {message}")
+
+
+def dispatch_leg() -> str:
+    """Pooled matrix vs fault-free twin: equality + a climbed ladder."""
+    baseline = tune_matrix(
+        WORKLOADS, PLATFORMS, method="SAM", size_mb=SIZE_MB, iterations=ITERS, seed=0
+    )
+    require(
+        baseline.reliability is not None and baseline.reliability.clean,
+        "fault-free baseline should have a clean ledger",
+    )
+    # fork inherits the warm parent, so pool startup cannot eat the
+    # per-attempt deadline; without it, stretch the deadline instead.
+    if "fork" in multiprocessing.get_all_start_methods():
+        start_method, timeout_s, hang_s = "fork", 2.0, 5.0
+    else:  # pragma: no cover - non-POSIX CI
+        start_method, timeout_s, hang_s = None, 10.0, 25.0
+    policy = RetryPolicy(
+        max_attempts=3, timeout_s=timeout_s, backoff_s=0.01, max_backoff_s=0.05
+    )
+    plan = FaultPlan.adversarial(SEED, tasks=len(baseline.reports), hang_s=hang_s)
+    with injected_faults(plan):
+        chaotic = tune_matrix(
+            WORKLOADS,
+            PLATFORMS,
+            method="SAM",
+            size_mb=SIZE_MB,
+            iterations=ITERS,
+            seed=0,
+            options=TuningOptions(processes=2, start_method=start_method, retry=policy),
+        )
+    require(
+        chaotic == baseline,
+        "adversarial matrix differs from the fault-free run (bit-identity broken)",
+    )
+    ledger = chaotic.reliability
+    bites = ledger.retries + ledger.timeouts + ledger.degradations
+    require(bites >= 1, "adversarial plan never bit: retry counters are all zero")
+    return (
+        f"matrix identical across {len(chaotic.reports)} cells "
+        f"(retries={ledger.retries} timeouts={ledger.timeouts} "
+        f"crashes={ledger.crashes} rebuilds={ledger.pool_rebuilds} "
+        f"degradations={ledger.degradations})"
+    )
+
+
+def store_leg(tmp: Path) -> str:
+    """Store append under torn/transient faults: retries + clean replay."""
+    report = tune_scenario(
+        "short-read", "emil", method="SAM", size_mb=SIZE_MB, iterations=ITERS
+    )
+    cell = CellKey.for_request(
+        "short-read", "emil", method="SAM", size_mb=SIZE_MB, iterations=ITERS
+    )
+    path = tmp / "chaos-store.jsonl"
+    store = ResultStore(
+        path, retry=RetryPolicy(max_attempts=3, backoff_s=0.0, jitter=0.0)
+    )
+    plan = FaultPlan(
+        specs=(
+            FaultSpec(SITE_STORE_IO, KIND_IO_ERROR),
+            FaultSpec(SITE_STORE_APPEND, KIND_TORN_WRITE),
+        )
+    )
+    with injected_faults(plan):
+        require(store.put_scenario(cell, report), "store put did not persist")
+    require(
+        store.stats.write_retries >= 1,
+        "store faults never bit: write_retries is zero",
+    )
+    reopened = ResultStore(path)
+    require(
+        reopened.get_scenario(cell) == report,
+        "reopened store did not replay the record bit-identically",
+    )
+    compaction = ResultStore(path).compact()
+    require(compaction.kept == 1, "compaction should keep exactly the one record")
+    require(
+        ResultStore(path).stats.corrupt == 0,
+        "compacted store should replay with zero corrupt lines",
+    )
+    return (
+        f"store survived {store.stats.write_retries} retried append(s), "
+        f"compaction reclaimed {compaction.reclaimed} bytes"
+    )
+
+
+def main() -> int:
+    with tempfile.TemporaryDirectory() as tmp:
+        dispatch = dispatch_leg()
+        store = store_leg(Path(tmp))
+    print(f"chaos smoke ok: {dispatch}; {store}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
