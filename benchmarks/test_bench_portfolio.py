@@ -1,0 +1,100 @@
+"""Portfolio + transfer budget economics: same optima, fewer experiments.
+
+The headline claim of the transfer/portfolio tier (docs/portfolio.md)
+is a budget statement, so it is pinned as a bench, not a unit test:
+tune the full built-in workload x platform matrix twice —
+
+- **baseline arm**: per-cell ``SAML`` from scratch, every cell paying
+  its full training grid (the paper's Table II workflow at matrix
+  scale);
+- **portfolio arm**: successive-halving race over the searcher
+  catalogue plus warm-started transfer training.
+
+and require that the portfolio arm reaches an optimum distance no
+worse than the baseline in **every** cell while spending at least
+``MIN_BUDGET_SAVINGS`` fewer *total* experiments (training + search)
+across the matrix.  Experiments are simulated-measurement counts —
+deterministic, machine-portable — so unlike the throughput benches the
+hard floor here is exact, not a timing ratio.  The measured savings
+ratio is additionally gated against ``baseline.json`` so a quiet
+regression (say, a schedule change that erodes the margin without
+crossing the floor) still fails the bench job.
+"""
+
+from conftest import run_once
+
+from repro.core.campaign import tune_matrix
+from repro.core.options import TuningOptions
+from repro.core.portfolio import PortfolioSpec
+
+WORKLOADS = (
+    "dna-paper",
+    "short-read",
+    "long-genome",
+    "dense-motif",
+    "tiny-alphabet",
+    "protein-alphabet",
+)
+#: The six accelerator platforms (SAML needs a device side to predict).
+PLATFORMS = ("emil", "fathost", "dualphi", "slowlink", "quadphi", "mixedphi")
+ITERS = 200
+#: The raced schedule: 25/50/100/200 over the full catalogue.
+SCHEDULE = PortfolioSpec(rung0=25, eta=2)
+#: Acceptance floor on total-experiment savings across the matrix;
+#: typically lands near 0.44 (the warm cells halve their grids and the
+#: race's search spend stays far below one training grid).
+MIN_BUDGET_SAVINGS = 0.30
+
+
+def test_portfolio_budget_savings(benchmark):
+    def compare():
+        baseline = tune_matrix(
+            WORKLOADS, PLATFORMS, method="SAML", iterations=ITERS, seed=0
+        )
+        portfolio = tune_matrix(
+            WORKLOADS,
+            PLATFORMS,
+            method="SAM",
+            iterations=ITERS,
+            seed=0,
+            options=TuningOptions(transfer=True, portfolio=SCHEDULE),
+        )
+        return baseline, portfolio
+
+    baseline, portfolio = run_once(benchmark, compare)
+
+    assert len(baseline) == len(portfolio) == len(WORKLOADS) * len(PLATFORMS)
+    for base, port in zip(baseline, portfolio):
+        cell = f"{base.workload}@{base.platform}"
+        assert port.workload == base.workload and port.platform == base.platform
+        assert port.portfolio is not None, cell
+        # Same-or-better optimum distance in every cell, no exceptions.
+        assert port.optimum_distance <= base.optimum_distance + 1e-12, (
+            f"{cell}: portfolio d={port.optimum_distance:.4f} worse than "
+            f"baseline d={base.optimum_distance:.4f}"
+        )
+
+    spent_base = sum(r.total_experiments for r in baseline)
+    spent_port = sum(r.total_experiments for r in portfolio)
+    savings = 1.0 - spent_port / spent_base
+    assert savings >= MIN_BUDGET_SAVINGS, (
+        f"portfolio arm spent {spent_port} vs baseline {spent_base}: "
+        f"savings {savings:.3f} below the {MIN_BUDGET_SAVINGS:.2f} floor"
+    )
+
+    quality = sum(r.optimum_distance for r in baseline) / sum(
+        r.optimum_distance for r in portfolio
+    )
+    # Deterministic ratio gates: budget savings and aggregate quality.
+    benchmark.extra_info["portfolio_budget_savings"] = savings
+    benchmark.extra_info["portfolio_quality_gain"] = quality
+    print()
+    print(
+        f"baseline arm : {spent_base} experiments "
+        f"(mean distance {sum(r.optimum_distance for r in baseline) / len(baseline):.3f})"
+    )
+    print(
+        f"portfolio arm: {spent_port} experiments "
+        f"(mean distance {sum(r.optimum_distance for r in portfolio) / len(portfolio):.3f})"
+    )
+    print(f"budget savings {savings:.3f}, aggregate quality gain {quality:.3f}x")

@@ -3,9 +3,9 @@
 Artifacts: ``fig2``, ``fig5``, ``fig6``, ``fig7``, ``fig8``, ``table2``,
 ``table4``, ``table5``, ``table6``, ``table7``, ``table8``, ``table9``,
 ``fig9``, ``summary``, ``tune``, ``platforms``, ``workloads``,
-``ingest``, ``campaign``, ``matrix``, ``serve``, ``submit``, ``store``,
-or ``all``.  Everything prints as plain-text tables mirroring the
-paper's figures and tables.
+``ingest``, ``campaign``, ``matrix``, ``portfolio``, ``serve``,
+``submit``, ``store``, or ``all``.  Everything prints as plain-text
+tables mirroring the paper's figures and tables.
 
 ``tune`` runs one optimization method end-to-end and prints the
 suggested system configuration; ``--engine``/``--batch-size`` select
@@ -25,6 +25,18 @@ crosses the workload registry with the platform registry and prints a
 per-cell comparison table (see :mod:`repro.core.campaign`).
 ``--budget-scale small`` shrinks ``matrix`` to a 3x3 subset with a
 capped iteration budget — the CI smoke configuration.
+
+``--portfolio [SPEC]`` replaces the single method with a successive-
+halving race over the searcher catalogue (``sh:<rung0>x<eta>[:<A+B>]``,
+see :mod:`repro.core.portfolio`), and ``--transfer`` warm-starts ML
+training from already-tuned neighbor cells (:mod:`repro.ml.transfer`);
+both apply to ``tune``-like artifacts (``campaign``, ``matrix``,
+``ingest --tune``, ``submit``).  The ``portfolio`` artifact races one
+cell and prints the full rung-by-rung ledger.  Passing ``--store`` to
+``campaign``/``matrix``/``portfolio`` binds the durable result store
+for the run, so EM references, measured training grids, and fitted
+models persist and are reused across processes (see
+``docs/portfolio.md``).
 
 ``ingest`` measures a FASTA file (``--fasta``, default: the bundled
 sample) into a positive/shuffled-background workload pair
@@ -78,7 +90,7 @@ ARTIFACTS = (
     "table1", "table2", "table3",
     "table4", "table5", "table6", "table7", "table8", "table9",
     "summary", "tune", "platforms", "workloads", "ingest", "campaign",
-    "matrix", "serve", "submit", "store", "all",
+    "matrix", "portfolio", "serve", "submit", "store", "all",
 )
 
 #: The ``--budget-scale small`` matrix subset: three workloads spanning
@@ -320,6 +332,39 @@ def _cli_options(args, *, engine_default: str | None = "cached+batched"):
         shards=args.shards,
         refine=args.refine,
         processes=args.processes,
+        transfer=args.transfer,
+        portfolio=args.portfolio_spec,
+    )
+
+
+def _bind_store(args):
+    """Bind the durable result store when ``--store`` was passed.
+
+    Campaign/matrix/portfolio runs read EM references, training grids,
+    and fitted models through the bound store and persist fresh ones —
+    the cross-process reuse tier of :mod:`repro.ml.transfer`.  Returns
+    a restore callable (no-op without ``--store``).
+    """
+    if args.store is None:
+        return lambda: None
+    from .core.campaign import set_result_store
+    from .service import ResultStore
+
+    previous = set_result_store(ResultStore(args.store, fsync=args.fsync))
+    return lambda: set_result_store(previous)
+
+
+def _print_transfer_summary() -> None:
+    """One line of this process's transfer-training counters."""
+    from .ml.transfer import transfer_stats
+
+    stats = transfer_stats()
+    print(
+        f"transfer: {stats.cold_fits} cold fits, {stats.warm_fits} warm fits, "
+        f"{stats.models_memory_hits} cached models, "
+        f"{stats.models_store_hits} model store hits, "
+        f"{stats.grids_measured} grids measured, "
+        f"{stats.grid_store_hits} grid store hits"
     )
 
 
@@ -427,6 +472,7 @@ def _run_campaign(workload, args) -> int:
         # "silently tune the whole fleet anyway".
         platforms = (args.platform,)
     size_mb = args.size_mb if args.size_mb is not None else workload.sequence_mb
+    restore_store = _bind_store(args)
     try:
         result = tune_campaign(
             platforms,
@@ -440,6 +486,8 @@ def _run_campaign(workload, args) -> int:
     except ValueError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
+    finally:
+        restore_store()
     print(render_table(
         result.table_headers(),
         result.table_rows(),
@@ -468,6 +516,7 @@ def _run_matrix(args) -> int:
         workloads = workloads or SMALL_MATRIX_WORKLOADS
         platforms = platforms or SMALL_MATRIX_PLATFORMS
         iterations = min(iterations, SMALL_MATRIX_MAX_ITERATIONS)
+    restore_store = _bind_store(args)
     try:
         result = tune_matrix(
             workloads,
@@ -481,6 +530,8 @@ def _run_matrix(args) -> int:
     except ValueError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
+    finally:
+        restore_store()
     print(render_table(
         result.table_headers(),
         result.table_rows(),
@@ -499,6 +550,69 @@ def _run_matrix(args) -> int:
         fastest = result.best_platform_for(workload)
         print(f"fastest for {workload:<16}: {fastest.platform} "
               f"({fastest.report.measured_time:.3f} s)")
+    if args.portfolio_spec is not None:
+        print()
+        for cell in result:
+            if cell.portfolio is not None:
+                print(f"portfolio {cell.workload}@{cell.platform}: "
+                      f"{cell.portfolio.describe()}")
+    if args.transfer or args.portfolio_spec is not None:
+        _print_transfer_summary()
+    return 0
+
+
+def _run_portfolio(args, workload, platform) -> int:
+    """Race the searcher portfolio on one cell -> rung-by-rung ledger."""
+    from dataclasses import replace
+
+    from .core.campaign import tune_scenario
+    from .core.portfolio import DEFAULT_PORTFOLIO
+
+    options = _cli_options(args).for_cell()
+    if options.portfolio is None:
+        options = replace(options, portfolio=DEFAULT_PORTFOLIO)
+    restore_store = _bind_store(args)
+    try:
+        cell = tune_scenario(
+            workload,
+            platform,
+            method=(args.method or "SAM").upper(),
+            size_mb=args.size_mb,
+            iterations=args.iterations,
+            seed=args.seed,
+            options=options,
+        )
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    finally:
+        restore_store()
+    race = cell.portfolio
+    rows = [
+        (e.rung, e.method, e.budget, round(e.value, 4),
+         "eliminated" if e.eliminated else "advances")
+        for e in race.entries
+    ]
+    print(render_table(
+        ["Rung", "Entrant", "Budget", "Best time [s]", "Outcome"],
+        rows,
+        title=(
+            f"Portfolio race {race.spec.key()} — {cell.workload} "
+            f"({cell.size_mb:g} MB) on {cell.platform}"
+        ),
+    ))
+    print()
+    print(f"outcome            : {race.describe()}")
+    print(f"configuration      : {cell.config.describe()}")
+    print(f"measured time      : {cell.report.measured_time:.3f} s "
+          f"({cell.optimum_distance:.3f}x the EM optimum)")
+    spend = ", ".join(f"{m}={n}" for m, n in sorted(race.spend.items()))
+    print(f"spend per entrant  : {spend}")
+    print(f"search evaluations : {race.search_evaluations}")
+    print(f"timed experiments  : {race.experiments} search "
+          f"+ {cell.report.training_experiments} training "
+          f"= {cell.total_experiments}")
+    _print_transfer_summary()
     return 0
 
 
@@ -515,7 +629,7 @@ def _run_store(args) -> int:
         )
         return 2
     try:
-        store = ResultStore(args.store, fsync=args.fsync)
+        store = ResultStore(args.store or "results.jsonl", fsync=args.fsync)
         report = store.compact()
     except (OSError, ValueError) as exc:
         print(f"error: {exc}", file=sys.stderr)
@@ -530,7 +644,7 @@ def _run_serve(args) -> int:
 
     from .service import CampaignServer, ResultStore
 
-    store = ResultStore(args.store, fsync=args.fsync)
+    store = ResultStore(args.store or "results.jsonl", fsync=args.fsync)
     server = CampaignServer(
         store,
         host=args.bind,
@@ -583,6 +697,8 @@ def _run_submit(args, workload, platform) -> int:
         batch_size=args.batch_size,
         shards=args.shards,
         refine=args.refine,
+        transfer=args.transfer,
+        portfolio=args.portfolio,
     )
 
     def progress(event: dict) -> None:
@@ -733,6 +849,20 @@ def main(argv: list[str] | None = None) -> int:
         "refine around the incumbent down to this step",
     )
     parser.add_argument(
+        "--transfer", action="store_true",
+        help="warm-start ML training from already-tuned neighbor cells "
+        "(transfer learning; applies to ML methods and portfolio races "
+        "with an ML entrant — see docs/portfolio.md)",
+    )
+    parser.add_argument(
+        "--portfolio", nargs="?", const="sh", default=None,
+        help="race a successive-halving searcher portfolio instead of a "
+        "single method: `sh:<rung0>x<eta>[:<A+B+...>]`, e.g. "
+        "`sh:125x2:SAM+RS+GA` (bare `--portfolio` races the full "
+        "catalogue at 125x2); applies to campaign/matrix/submit and "
+        "the `portfolio` artifact",
+    )
+    parser.add_argument(
         "--fasta", default=None,
         help="`ingest`: FASTA file to measure (default: the bundled "
         "sample promoter set)",
@@ -770,8 +900,11 @@ def main(argv: list[str] | None = None) -> int:
         "`submit` connects to it)",
     )
     parser.add_argument(
-        "--store", default="results.jsonl",
-        help="`serve`: path of the durable JSON-lines result store",
+        "--store", default=None,
+        help="path of the durable JSON-lines result store (`serve`/`store` "
+        "default: results.jsonl); passing it to `campaign`/`matrix`/"
+        "`portfolio` persists EM references and transfer-training "
+        "artifacts across runs",
     )
     parser.add_argument(
         "--max-pending", type=int, default=8,
@@ -803,6 +936,16 @@ def main(argv: list[str] | None = None) -> int:
         help="`submit`: print the raw protocol events as JSON lines",
     )
     args = parser.parse_args(argv)
+
+    args.portfolio_spec = None
+    if args.portfolio is not None:
+        from .core.portfolio import PortfolioSpec
+
+        try:
+            args.portfolio_spec = PortfolioSpec.parse(args.portfolio)
+        except ValueError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
 
     engine = None
     if args.engine is not None:
@@ -846,6 +989,11 @@ def main(argv: list[str] | None = None) -> int:
 
     if want == "matrix":
         code = _run_matrix(args)
+        print(f"[done in {time.time() - t0:.1f}s]", file=sys.stderr)
+        return code
+
+    if want == "portfolio":
+        code = _run_portfolio(args, workload, platform)
         print(f"[done in {time.time() - t0:.1f}s]", file=sys.stderr)
         return code
 

@@ -56,6 +56,7 @@ from ..machines.spec import PlatformSpec
 from .engine import EvaluationEngine
 from .methods import run_em, run_method
 from .options import UNSET, TuningOptions, resolve_options
+from .portfolio import ML_ENTRANTS, PortfolioResult
 from .params import (
     SystemConfiguration,
     device_only_config,
@@ -225,11 +226,24 @@ class PlatformTuneReport:
     space_size: int
     engine_batches: int
     engine_cache_hits: int
+    #: Static training-grid charge for ML-backed cells (the plan cost of
+    #: :mod:`repro.ml.transfer` — independent of runtime cache/store
+    #: reuse, so reports stay pure functions of the cell identity).
+    #: Zero for measurement-only methods.
+    training_experiments: int = 0
+    #: Successive-halving race ledger when the cell ran a portfolio
+    #: (``options.portfolio``), else ``None``.
+    portfolio: "PortfolioResult | None" = None
 
     @property
     def quality_vs_em(self) -> float:
         """Suggested-config time over the enumeration optimum (1.0 = optimal)."""
         return self.measured_time / self.em_time
+
+    @property
+    def total_experiments(self) -> int:
+        """Search plus training experiments — the full budget the cell spent."""
+        return self.experiments + self.training_experiments
 
     @property
     def speedup_vs_em_budget(self) -> float:
@@ -380,33 +394,61 @@ def tune_platform(
 
     sim = PlatformSimulator(spec, workload, seed=seed)
     ml = None
-    if method in ML_METHODS:
-        from .tuner import WorkDistributionTuner
+    training_experiments = 0
+    needs_ml = method in ML_METHODS or (
+        opts.portfolio is not None
+        and spec.has_device
+        and any(e in ML_ENTRANTS for e in opts.portfolio.entrants)
+    )
+    if needs_ml:
+        from ..ml.transfer import cell_models
 
-        # Pass the spec when the workload is registered so the tuner's
-        # training grid rescales to the workload's input scale.
-        tuner = WorkDistributionTuner(
+        # Registered workloads rescale the training grid to their input
+        # scale (the spec is passed through); cold training here is
+        # bit-identical to the historical WorkDistributionTuner path,
+        # with the per-process/model-store reuse tiers on top, and
+        # ``options.transfer`` switches on warm-started training.
+        models = cell_models(
             spec,
             workload_spec if workload_spec is not None else workload,
             space,
             seed=seed,
+            transfer=opts.transfer,
         )
-        ml = tuner.models.evaluator()
-        sim = tuner.sim
-    result = run_method(
-        method,
-        space,
-        sim,
-        size_mb,
-        ml=ml,
-        iterations=iterations,
-        seed=seed,
-        engine=engine_obj,
-        shards=opts.shards,
-        refine=opts.refine,
-        processes=opts.processes,
-        start_method=opts.start_method,
-    )
+        ml = models.evaluator()
+        training_experiments = models.ledger.grid_experiments
+    portfolio_result = None
+    if opts.portfolio is not None:
+        from .portfolio import run_portfolio
+
+        # The race runs every entrant through one shared memoizing
+        # evaluator (its own accounting); the cell's engine is not
+        # consulted, so engine statistics stay at zero.
+        result, portfolio_result = run_portfolio(
+            space,
+            sim,
+            size_mb,
+            spec=opts.portfolio,
+            iterations=iterations,
+            seed=seed,
+            ml=ml,
+        )
+        method = result.method
+    else:
+        result = run_method(
+            method,
+            space,
+            sim,
+            size_mb,
+            ml=ml,
+            iterations=iterations,
+            seed=seed,
+            engine=engine_obj,
+            shards=opts.shards,
+            refine=opts.refine,
+            processes=opts.processes,
+            start_method=opts.start_method,
+        )
 
     baseline_sim = PlatformSimulator(spec, workload, seed=seed)
     host_cfg = host_only_config(max(space.host_threads))
@@ -436,6 +478,8 @@ def tune_platform(
         space_size=space.size(),
         engine_batches=stats.batches if stats else 0,
         engine_cache_hits=stats.cache_hits if stats else 0,
+        training_experiments=training_experiments,
+        portfolio=portfolio_result,
     )
 
 
@@ -593,6 +637,16 @@ class ScenarioReport:
     def speedup_vs_host_only(self) -> float:
         """Measured speedup over the cell's host-only baseline."""
         return self.report.speedup_vs_host_only
+
+    @property
+    def portfolio(self) -> "PortfolioResult | None":
+        """The cell's successive-halving ledger, when it raced a portfolio."""
+        return self.report.portfolio
+
+    @property
+    def total_experiments(self) -> int:
+        """Search plus training experiments the cell spent."""
+        return self.report.total_experiments
 
 
 @dataclass(frozen=True)

@@ -26,10 +26,14 @@ The split of responsibilities is deliberate:
 from __future__ import annotations
 
 from dataclasses import dataclass, replace
+from typing import TYPE_CHECKING
 
 from repro.reliability import RetryPolicy
 
 from .engine import EvaluationEngine
+
+if TYPE_CHECKING:  # import cycle: portfolio consumes TuningOptions-tuned cells
+    from .portfolio import PortfolioSpec
 
 #: Sentinel distinguishing "keyword not passed" from "passed its default"
 #: in the compatibility layer of the ``tune_*`` entry points.
@@ -70,6 +74,18 @@ class TuningOptions:
         serial degradation — see :func:`~repro.core.pool.run_tasks`);
         ``None`` uses :data:`~repro.reliability.DEFAULT_RETRY_POLICY`.
         Execution-only, like ``processes``: never part of cache keys.
+    transfer:
+        Warm-start ML training from the cell's nearest already-rankable
+        neighbor (:mod:`repro.ml.transfer`) instead of training from
+        scratch.  Changes the fitted models and the training budget, so
+        it is part of the request identity
+        (:meth:`repro.service.store.CellKey.for_request`).
+    portfolio:
+        A :class:`~repro.core.portfolio.PortfolioSpec` racing the
+        searcher portfolio under successive halving instead of running a
+        single named method, or ``None`` for the classic single-method
+        path.  Part of the request identity (the winner and its budget
+        ledger depend on the schedule).
     """
 
     engine: str | EvaluationEngine | None = "cached+batched"
@@ -79,6 +95,8 @@ class TuningOptions:
     processes: int | None = None
     start_method: str | None = None
     retry: RetryPolicy | None = None
+    transfer: bool = False
+    portfolio: "PortfolioSpec | None" = None
 
     def __post_init__(self) -> None:
         if self.batch_size < 1:

@@ -71,6 +71,23 @@ class TrainingData:
         return len(self.host) + len(self.device)
 
 
+def side_combos(
+    threads: Sequence[int], affinities: Sequence[str], side: str
+) -> tuple[np.ndarray, np.ndarray]:
+    """One side's (thread, affinity-code) cross product, thread-major.
+
+    The combos are size-independent, so a cell builds them once and
+    reuses them for every training size (and for any re-measured
+    transfer grid, see :mod:`repro.ml.transfer`) instead of
+    regenerating the cross product per size.
+    """
+    codes = np.asarray([affinity_index(a, side) for a in affinities], dtype=np.int64)
+    thread_g, code_g = np.meshgrid(
+        np.asarray(threads, dtype=np.int64), codes, indexing="ij"
+    )
+    return thread_g.ravel(), code_g.ravel()
+
+
 def _grid_items(
     sizes_mb: Sequence[float],
     fractions: Sequence[float],
@@ -78,36 +95,36 @@ def _grid_items(
     affinities: Sequence[str],
 ) -> list[tuple[int, str, float]]:
     """One side's experiment grid in the canonical (paper) order."""
+    combos = [(t, a) for t in threads for a in affinities]
     return [
         (t, a, size * f / 100.0)
         for size in sizes_mb
         for f in fractions
-        for t in threads
-        for a in affinities
+        for t, a in combos
     ]
 
 
 def _grid_columns(
     sizes_mb: Sequence[float],
     fractions: Sequence[float],
-    threads: Sequence[int],
-    affinities: Sequence[str],
-    side: str,
+    combos: tuple[np.ndarray, np.ndarray],
 ) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
     """One side's grid as ``(threads, affinity codes, mb)`` columns.
 
+    ``combos`` is the side's precomputed (thread, code) cross product
+    from :func:`side_combos`, tiled across the size x fraction product.
     Row order and megabyte values match :func:`_grid_items` exactly
     (same ``size * f / 100`` expression, elementwise).
     """
-    codes = np.asarray([affinity_index(a, side) for a in affinities], dtype=np.int64)
-    size_g, frac_g, thread_g, code_g = np.meshgrid(
+    thread_c, code_c = combos
+    size_g, frac_g = np.meshgrid(
         np.asarray(sizes_mb, dtype=np.float64),
         np.asarray(fractions, dtype=np.float64),
-        np.asarray(threads, dtype=np.int64),
-        codes,
         indexing="ij",
     )
-    return thread_g.ravel(), code_g.ravel(), size_g.ravel() * frac_g.ravel() / 100.0
+    mb = np.repeat(size_g.ravel() * frac_g.ravel() / 100.0, len(thread_c))
+    reps = size_g.size
+    return np.tile(thread_c, reps), np.tile(code_c, reps), mb
 
 
 def generate_training_data(
@@ -140,10 +157,12 @@ def generate_training_data(
         device_X = np.array([encode_device_row(t, a, mb) for t, a, mb in device_items])
     else:
         h_threads, h_codes, h_mb = _grid_columns(
-            sizes_mb, fractions, host_threads, host_affinities, "host"
+            sizes_mb, fractions, side_combos(host_threads, host_affinities, "host")
         )
         d_threads, d_codes, d_mb = _grid_columns(
-            sizes_mb, fractions, device_threads, device_affinities, "device"
+            sizes_mb,
+            fractions,
+            side_combos(device_threads, device_affinities, "device"),
         )
         host_y = sim.measure_host_columns(h_threads, h_codes, h_mb)
         device_y = sim.measure_device_columns(d_threads, d_codes, d_mb)

@@ -88,6 +88,59 @@ class BoostedDecisionTreeRegressor:
         self._packed = None
         return self
 
+    def continue_fit(
+        self, X: np.ndarray, y: np.ndarray, n_stages: int
+    ) -> "BoostedDecisionTreeRegressor":
+        """Staged boosting continuation: extend this ensemble on new data.
+
+        Returns a *new* regressor whose first stages are this model's
+        trees (shared, they are immutable after fit) and whose
+        ``n_stages`` additional stages fit the residuals of this model's
+        predictions on ``(X, y)`` with the same shrinkage — the transfer
+        warm start of :mod:`repro.ml.transfer`.  The donor is left
+        untouched, and the continued model predicts exactly
+        ``donor(x) + lr * sum(new trees)(x)``, so it round-trips through
+        :mod:`repro.ml.io` like any other fitted ensemble.
+        """
+        if self.base_prediction_ is None:
+            raise RuntimeError("continue_fit called before fit")
+        if n_stages <= 0:
+            raise ValueError(f"n_stages must be positive, got {n_stages}")
+        X = np.asarray(X, dtype=np.float64)
+        y = np.asarray(y, dtype=np.float64)
+        if len(X) != len(y):
+            raise ValueError("X and y length mismatch")
+        if len(X) == 0:
+            raise ValueError("cannot fit on an empty dataset")
+        model = BoostedDecisionTreeRegressor(
+            n_estimators=len(self.trees_) + n_stages,
+            learning_rate=self.learning_rate,
+            max_depth=self.max_depth,
+            min_samples_leaf=self.min_samples_leaf,
+            subsample=self.subsample,
+            seed=self.seed,
+        )
+        model.base_prediction_ = self.base_prediction_
+        model.trees_ = list(self.trees_)
+        model.train_loss_ = list(self.train_loss_)
+        rng = np.random.default_rng(self.seed)
+        current = self.predict(X)
+        n_sub = max(1, int(round(self.subsample * len(y))))
+        for _ in range(n_stages):
+            residual = y - current
+            if self.subsample < 1.0:
+                rows = rng.choice(len(y), size=n_sub, replace=False)
+            else:
+                rows = slice(None)
+            tree = RegressionTree(
+                max_depth=self.max_depth, min_samples_leaf=self.min_samples_leaf
+            )
+            tree.fit(X[rows], residual[rows])
+            current = current + self.learning_rate * tree.predict(X)
+            model.trees_.append(tree)
+            model.train_loss_.append(float(np.mean((y - current) ** 2)))
+        return model
+
     def _pack(self) -> tuple:
         """Flatten the ensemble into (trees x nodes) arrays for batch descent.
 

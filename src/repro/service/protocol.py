@@ -91,6 +91,14 @@ class SubmitRequest:
     batch_size: int = 64
     shards: int = 1
     refine: float | None = None
+    #: Warm-start ML training from neighbor cells (result-relevant, see
+    #: :class:`~repro.core.options.TuningOptions.transfer`).
+    transfer: bool = False
+    #: Successive-halving schedule string
+    #: (:meth:`~repro.core.portfolio.PortfolioSpec.key` format, parsed
+    #: server-side via :meth:`~repro.core.portfolio.PortfolioSpec.parse`),
+    #: or ``None`` for the classic single-method path.
+    portfolio: str | None = None
     derived: tuple[dict, ...] = ()
 
     def to_message(self) -> dict:

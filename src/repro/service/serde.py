@@ -12,17 +12,27 @@ dataclass equality (``==``) is exact-value equality.
 Covered types: :class:`~repro.core.params.SystemConfiguration` /
 :class:`~repro.core.params.DeviceSlot`, :class:`~repro.core.energy.Energy`,
 :class:`~repro.core.methods.MethodResult` (EM references; annealing
-traces are search-internal and never cached), and the campaign report
+traces are search-internal and never cached), the campaign report
 types :class:`~repro.core.campaign.PlatformTuneReport` /
-:class:`~repro.core.campaign.ScenarioReport`.
+:class:`~repro.core.campaign.ScenarioReport` (including an attached
+:class:`~repro.core.portfolio.PortfolioResult` ledger), and transfer
+learning's array artifacts — measured training grids and fitted model
+pairs — which travel as base64-wrapped compressed ``.npz`` blobs
+(binary float round-trips, hence bit-identical predictions).
 """
 
 from __future__ import annotations
+
+import base64
+import io
+
+import numpy as np
 
 from ..core.campaign import PlatformTuneReport, ScenarioReport
 from ..core.energy import Energy
 from ..core.methods import MethodResult
 from ..core.params import DeviceSlot, SystemConfiguration
+from ..core.portfolio import PortfolioResult, PortfolioSpec, RungEntry
 from ..dna.workloads import WorkloadSpec
 
 
@@ -142,6 +152,54 @@ def decode_method_result(data: dict) -> MethodResult:
     )
 
 
+def encode_portfolio(result: PortfolioResult) -> dict:
+    """JSON-able form of a successive-halving race ledger."""
+    return {
+        "spec": {
+            "rung0": result.spec.rung0,
+            "eta": result.spec.eta,
+            "entrants": list(result.spec.entrants),
+        },
+        "winner": result.winner,
+        "entries": [
+            {
+                "method": e.method,
+                "rung": e.rung,
+                "budget": e.budget,
+                "value": e.value,
+                "eliminated": e.eliminated,
+            }
+            for e in result.entries
+        ],
+        "experiments": result.experiments,
+        "search_evaluations": result.search_evaluations,
+    }
+
+
+def decode_portfolio(data: dict) -> PortfolioResult:
+    spec = data["spec"]
+    return PortfolioResult(
+        spec=PortfolioSpec(
+            rung0=int(spec["rung0"]),
+            eta=int(spec["eta"]),
+            entrants=tuple(str(e) for e in spec["entrants"]),
+        ),
+        winner=str(data["winner"]),
+        entries=tuple(
+            RungEntry(
+                method=str(e["method"]),
+                rung=int(e["rung"]),
+                budget=int(e["budget"]),
+                value=float(e["value"]),
+                eliminated=bool(e["eliminated"]),
+            )
+            for e in data["entries"]
+        ),
+        experiments=int(data["experiments"]),
+        search_evaluations=int(data["search_evaluations"]),
+    )
+
+
 def encode_platform_report(report: PlatformTuneReport) -> dict:
     """JSON-able form of one platform's campaign row."""
     return {
@@ -159,11 +217,16 @@ def encode_platform_report(report: PlatformTuneReport) -> dict:
         "space_size": report.space_size,
         "engine_batches": report.engine_batches,
         "engine_cache_hits": report.engine_cache_hits,
+        "training_experiments": report.training_experiments,
+        "portfolio": (
+            None if report.portfolio is None else encode_portfolio(report.portfolio)
+        ),
     }
 
 
 def decode_platform_report(data: dict) -> PlatformTuneReport:
     device_only = data["device_only_time"]
+    portfolio = data["portfolio"]
     return PlatformTuneReport(
         platform=data["platform"],
         description=data["description"],
@@ -179,6 +242,8 @@ def decode_platform_report(data: dict) -> PlatformTuneReport:
         space_size=int(data["space_size"]),
         engine_batches=int(data["engine_batches"]),
         engine_cache_hits=int(data["engine_cache_hits"]),
+        training_experiments=int(data["training_experiments"]),
+        portfolio=None if portfolio is None else decode_portfolio(portfolio),
     )
 
 
@@ -196,4 +261,74 @@ def decode_scenario(data: dict) -> ScenarioReport:
         workload=data["workload"],
         size_mb=float(data["size_mb"]),
         report=decode_platform_report(data["report"]),
+    )
+
+
+# -- transfer-learning artifacts (training grids, model pairs) ----------------
+
+
+def _encode_npz(**arrays: np.ndarray) -> str:
+    """Base64 of a compressed ``.npz`` holding ``arrays``.
+
+    Binary transport, not textual floats: the arrays round-trip
+    byte-exact, which is what makes stored models predict
+    bit-identically to freshly trained ones.
+    """
+    buf = io.BytesIO()
+    np.savez_compressed(buf, **arrays)
+    return base64.b64encode(buf.getvalue()).decode("ascii")
+
+
+def _decode_npz(blob: str) -> dict[str, np.ndarray]:
+    with np.load(io.BytesIO(base64.b64decode(blob.encode("ascii")))) as data:
+        return {name: data[name] for name in data.files}
+
+
+def encode_training_data(data) -> dict:
+    """JSON-able form of a measured training grid
+    (:class:`~repro.core.training.TrainingData`)."""
+    return {
+        "arrays": _encode_npz(
+            host_X=data.host.X,
+            host_y=data.host.y,
+            device_X=data.device.X,
+            device_y=data.device.y,
+        )
+    }
+
+
+def decode_training_data(payload: dict):
+    from ..core.training import TrainingData
+    from ..ml.dataset import DEVICE_FEATURE_NAMES, HOST_FEATURE_NAMES, Dataset
+
+    arrays = _decode_npz(payload["arrays"])
+    return TrainingData(
+        host=Dataset(arrays["host_X"], arrays["host_y"], HOST_FEATURE_NAMES),
+        device=Dataset(arrays["device_X"], arrays["device_y"], DEVICE_FEATURE_NAMES),
+    )
+
+
+def encode_model_pair(host_model, device_model) -> dict:
+    """JSON-able form of a fitted ``(host, device)`` predictor pair.
+
+    Each side is the exact ``.npz`` byte stream of
+    :func:`repro.ml.io.save_model`, base64-wrapped — one serializer for
+    files and store records.
+    """
+    from ..ml.io import save_model
+
+    blobs = {}
+    for side, model in (("host", host_model), ("device", device_model)):
+        buf = io.BytesIO()
+        save_model(buf, model)
+        blobs[side] = base64.b64encode(buf.getvalue()).decode("ascii")
+    return blobs
+
+
+def decode_model_pair(payload: dict) -> tuple:
+    from ..ml.io import load_model
+
+    return tuple(
+        load_model(io.BytesIO(base64.b64decode(payload[side].encode("ascii"))))
+        for side in ("host", "device")
     )

@@ -68,6 +68,7 @@ from repro.reliability import (
 from ..core import campaign as campaign_mod
 from ..core.options import TuningOptions
 from ..core.pool import pool_executor
+from ..core.portfolio import PortfolioSpec
 from ..dna.workloads import get_workload, register_workload
 from ..machines.registry import resolve_platform
 from .protocol import (
@@ -311,6 +312,18 @@ class CampaignServer:
             # are no-ops, matching the registry's idempotence rule.
             for entry in request.derived:
                 register_workload(decode_workload_spec(entry))
+            options = TuningOptions(
+                engine=request.engine,
+                batch_size=request.batch_size,
+                shards=request.shards,
+                refine=request.refine,
+                transfer=request.transfer,
+                portfolio=(
+                    None
+                    if request.portfolio is None
+                    else PortfolioSpec.parse(request.portfolio)
+                ),
+            )
             cells = [
                 CellKey.for_request(
                     workload,
@@ -319,9 +332,7 @@ class CampaignServer:
                     size_mb=request.size_mb,
                     iterations=request.iterations,
                     seed=request.seed,
-                    engine=request.engine,
-                    batch_size=request.batch_size,
-                    refine=request.refine,
+                    options=options,
                 )
                 for workload in request.workloads
                 for platform in request.platforms
@@ -510,6 +521,12 @@ class CampaignServer:
                 batch_size=cell.batch_size,
                 shards=request.shards,
                 refine=cell.refine,
+                transfer=cell.transfer,
+                portfolio=(
+                    None
+                    if cell.portfolio is None
+                    else PortfolioSpec.parse(cell.portfolio)
+                ),
             ),
         )
         job = (
@@ -609,6 +626,8 @@ class CampaignServer:
                 "path": self.store.path,
                 "em_entries": self.store.count("em"),
                 "scenario_entries": self.store.count("scenario"),
+                "training_entries": self.store.count("training"),
+                "models_entries": self.store.count("models"),
             },
             # The process-wide dispatch ledger (campaign fan-outs run in
             # this process share it with the evaluation loop above).

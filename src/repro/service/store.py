@@ -6,7 +6,7 @@ server restarts, pool workers, and unrelated processes all share — the
 ACToR-style durable experiment-store shape: one append-only JSON-lines
 file, one record per line, readable and greppable by humans.
 
-Two record kinds live in one file (full format spec, invalidation
+Four record kinds live in one file (full format spec, invalidation
 rules, and concurrency guarantees in ``docs/result-store.md``):
 
 ``em``
@@ -22,6 +22,17 @@ rules, and concurrency guarantees in ``docs/result-store.md``):
     result-relevant request parameters, registry-canonicalized).  A
     duplicate request — concurrent or after a restart — is answered
     from this record with zero recomputation.
+``training`` / ``models``
+    Transfer learning's durable tier (:mod:`repro.ml.transfer`): one
+    measured training grid / one fitted ``(host, device)`` predictor
+    pair, content-addressed by
+    :func:`~repro.ml.transfer.training_key_digest` /
+    :func:`~repro.ml.transfer.models_key_digest` (warm model digests
+    chain through their donor's digest, so a whole training lineage
+    validates or invalidates together).  Array payloads travel as
+    base64-wrapped compressed ``.npz`` blobs — binary-exact, so a model
+    loaded from the store predicts bit-identically to the one trained
+    in-process.
 
 Every record carries ``schema``: records whose version differs from
 the reader's are skipped at load (counted in ``stats.invalidated``),
@@ -83,10 +94,16 @@ from .serde import (
 #: v2: ``CellKey`` grew ``workload_digest`` (derived workloads are
 #: content-addressed, see :meth:`CellKey.for_request`), which changes
 #: every scenario digest.
-STORE_SCHEMA_VERSION = 2
+#: v3: ``CellKey`` grew ``transfer`` / ``portfolio`` (both result-
+#: relevant), scenario payloads may embed a portfolio ledger, and the
+#: ``training`` / ``models`` record kinds joined the file (transfer
+#: learning's durable tier, see :mod:`repro.ml.transfer`).
+STORE_SCHEMA_VERSION = 3
 
 KIND_EM = "em"
 KIND_SCENARIO = "scenario"
+KIND_TRAINING = "training"
+KIND_MODELS = "models"
 
 
 def em_key_digest(key: tuple) -> str:
@@ -133,6 +150,12 @@ class CellKey:
     batch_size: int
     refine: float | None
     workload_digest: str | None = None
+    #: Transfer-learned training and portfolio racing both change the
+    #: served result (different models / different winner and ledger),
+    #: so they are part of the identity; ``portfolio`` is the schedule's
+    #: canonical string (:meth:`repro.core.portfolio.PortfolioSpec.key`).
+    transfer: bool = False
+    portfolio: str | None = None
 
     @classmethod
     def for_request(
@@ -175,6 +198,8 @@ class CellKey:
             workload_digest=(
                 wspec.content_digest() if is_derived_key(wspec.name) else None
             ),
+            transfer=bool(opts.transfer),
+            portfolio=None if opts.portfolio is None else opts.portfolio.key(),
         )
 
     def digest(self) -> str:
@@ -183,9 +208,12 @@ class CellKey:
     def describe(self) -> str:
         """Short human form, e.g. ``SAM short-read@emil 300MB seed=0``."""
         refined = "" if self.refine is None else f" refine={self.refine:g}"
+        extras = ("" if not self.transfer else " transfer") + (
+            "" if self.portfolio is None else f" portfolio={self.portfolio}"
+        )
         return (
             f"{self.method} {self.workload}@{self.platform} "
-            f"{self.size_mb:g}MB seed={self.seed}{refined}"
+            f"{self.size_mb:g}MB seed={self.seed}{refined}{extras}"
         )
 
 
@@ -477,6 +505,59 @@ class ResultStore:
         """Persist one served cell; False when the key already exists."""
         meta = {"cell": cell.describe()}
         return self._put(KIND_SCENARIO, cell.digest(), meta, encode_scenario(report))
+
+    # -- transfer-learning artifacts (see repro.ml.transfer) -----------------
+
+    def get_training(self, digest: str):
+        """The stored measured training grid for a content digest, if any."""
+        payload = self._get(KIND_TRAINING, digest)
+        if payload is None:
+            return None
+        from .serde import decode_training_data
+
+        return decode_training_data(payload)
+
+    def put_training(self, digest: str, data, meta: dict | None = None) -> bool:
+        """Persist one measured training grid; False when already present.
+
+        ``digest`` is :func:`repro.ml.transfer.training_key_digest` —
+        content-addressed over the platform calibration, workload
+        profile, grid signature, and noise seed, so structurally equal
+        grids collide and any calibration change misses.
+        """
+        from .serde import encode_training_data
+
+        return self._put(
+            KIND_TRAINING, digest, dict(meta or {}), encode_training_data(data)
+        )
+
+    def get_models(self, digest: str):
+        """The stored fitted ``(host, device)`` model pair, if any."""
+        payload = self._get(KIND_MODELS, digest)
+        if payload is None:
+            return None
+        from .serde import decode_model_pair
+
+        return decode_model_pair(payload)
+
+    def put_models(
+        self, digest: str, host_model, device_model, meta: dict | None = None
+    ) -> bool:
+        """Persist one fitted model pair; False when already present.
+
+        ``digest`` is :func:`repro.ml.transfer.models_key_digest` — it
+        chains through the training grid's digest and, for warm-started
+        models, the donor's digest, so a stored model is valid exactly
+        as long as its whole lineage is.
+        """
+        from .serde import encode_model_pair
+
+        return self._put(
+            KIND_MODELS,
+            digest,
+            dict(meta or {}),
+            encode_model_pair(host_model, device_model),
+        )
 
     # -- compaction ----------------------------------------------------------
 

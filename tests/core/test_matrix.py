@@ -116,21 +116,26 @@ class TestTuneMatrix:
         assert cell.optimum_distance == pytest.approx(1.0)
 
     def test_saml_cells_train_at_the_workload_scale(self, monkeypatch):
-        # The ML path must hand the registered spec to the tuner so its
-        # training grid rescales (short-read: sizes cap at 300 MB, not
-        # the paper's 3170), keeping predictions inside the trained range.
-        from repro.core import tuner as tuner_mod
+        # The ML path must hand the registered spec to transfer training
+        # so its grid rescales (short-read: sizes cap at 300 MB, not the
+        # paper's 3170), keeping predictions inside the trained range.
+        from repro.core import training as training_mod
+        from repro.core.training import training_sizes_for
+        from repro.ml.transfer import clear_transfer_cache
 
-        instances = []
-        real = tuner_mod.WorkDistributionTuner
+        clear_transfer_cache()  # force this cell to actually train
+        grids = []
+        real = training_mod.generate_training_data
 
-        class SpyTuner(real):
-            def __init__(self, *args, **kwargs):
-                super().__init__(*args, **kwargs)
-                instances.append(self)
+        def spy(sim, *, sizes_mb, **kwargs):
+            grids.append((sizes_mb, real(sim, sizes_mb=sizes_mb, **kwargs)))
+            return grids[-1][1]
 
-        monkeypatch.setattr(tuner_mod, "WorkDistributionTuner", SpyTuner)
-        tune_scenario("short-read", "emil", method="SAML", iterations=30)
-        (tuner,) = instances
-        assert tuner.workload_spec is SHORT_READ
-        assert tuner.models.data.host.X[:, -1].max() <= SHORT_READ.sequence_mb
+        monkeypatch.setattr(training_mod, "generate_training_data", spy)
+        try:
+            tune_scenario("short-read", "emil", method="SAML", iterations=30)
+        finally:
+            clear_transfer_cache()
+        ((sizes, data),) = grids
+        assert sizes == training_sizes_for(SHORT_READ)
+        assert data.host.X[:, -1].max() <= SHORT_READ.sequence_mb

@@ -1,0 +1,207 @@
+"""Budget-aware searcher portfolios under successive halving (core/portfolio.py)."""
+
+import multiprocessing
+
+import pytest
+
+from repro.core.campaign import tune_matrix, tune_scenario
+from repro.core.options import TuningOptions
+from repro.core.params import workload_space
+from repro.core.portfolio import (
+    DEFAULT_PORTFOLIO,
+    PORTFOLIO_ENTRANTS,
+    PortfolioSpec,
+    run_portfolio,
+)
+from repro.dna.workloads import get_workload
+from repro.machines.simulator import PlatformSimulator
+from repro.machines.spec import EMIL
+
+SIZE_MB = 300.0
+ITERS = 80
+#: A cheap measurement-only schedule (no SAML -> no training grids).
+SMALL = PortfolioSpec(rung0=20, eta=2, entrants=("SAM", "RS", "HC", "TABU"))
+
+
+def small_race(spec=SMALL, iterations=ITERS, seed=0):
+    workload = get_workload("short-read")
+    space = workload_space(workload, EMIL)
+    sim = PlatformSimulator(EMIL, workload.profile(), seed=seed)
+    return run_portfolio(
+        space, sim, SIZE_MB, spec=spec, iterations=iterations, seed=seed
+    )
+
+
+class TestPortfolioSpec:
+    def test_default_schedule(self):
+        assert DEFAULT_PORTFOLIO.rung0 == 125
+        assert DEFAULT_PORTFOLIO.eta == 2
+        assert DEFAULT_PORTFOLIO.entrants == PORTFOLIO_ENTRANTS
+
+    def test_key_parse_round_trip(self):
+        for spec in (
+            DEFAULT_PORTFOLIO,
+            SMALL,
+            PortfolioSpec(rung0=50, eta=3, entrants=("GA", "ACO")),
+        ):
+            assert PortfolioSpec.parse(spec.key()) == spec
+
+    def test_parse_accepts_abbreviated_forms(self):
+        assert PortfolioSpec.parse("") == DEFAULT_PORTFOLIO
+        assert PortfolioSpec.parse("sh") == DEFAULT_PORTFOLIO
+        assert PortfolioSpec.parse("sh:50x3") == PortfolioSpec(rung0=50, eta=3)
+        assert PortfolioSpec.parse("sh:50x3:RS+SAM") == PortfolioSpec(
+            rung0=50, eta=3, entrants=("SAM", "RS")
+        )
+
+    def test_entrants_canonicalize_to_catalogue_order(self):
+        spec = PortfolioSpec(entrants=("rs", "SAM", "hc"))
+        assert spec.entrants == ("SAM", "RS", "HC")
+        assert spec.key() == "sh:125x2:SAM+RS+HC"
+
+    def test_validation_rejects_bad_schedules(self):
+        with pytest.raises(ValueError, match="rung0"):
+            PortfolioSpec(rung0=0)
+        with pytest.raises(ValueError, match="eta"):
+            PortfolioSpec(eta=1)
+        with pytest.raises(ValueError, match="unknown"):
+            PortfolioSpec(entrants=("SAM", "CMAES"))
+        with pytest.raises(ValueError, match="duplicate"):
+            PortfolioSpec(entrants=("SAM", "SAM"))
+        with pytest.raises(ValueError, match="empty"):
+            PortfolioSpec(entrants=())
+        with pytest.raises(ValueError, match="unparseable"):
+            PortfolioSpec.parse("hyperband:3")
+
+
+class TestRace:
+    @pytest.fixture(scope="class")
+    def race(self):
+        return small_race()
+
+    def test_race_is_deterministic(self, race):
+        result, ledger = race
+        again_result, again_ledger = small_race()
+        assert again_result == result
+        assert again_ledger == ledger
+
+    def test_winner_survives_to_the_final_rung(self, race):
+        _result, ledger = race
+        final = [e for e in ledger.entries if e.rung == ledger.rungs - 1]
+        assert ledger.winner in {e.method for e in final if not e.eliminated}
+        # The final rung runs at the full single-method budget.
+        assert all(e.budget == ITERS for e in final)
+
+    def test_ledger_accounting_invariants(self, race):
+        result, ledger = race
+        # Distinct measured configs can never exceed objective scores.
+        assert ledger.experiments <= ledger.search_evaluations
+        assert result.experiments == ledger.experiments
+        assert result.search_evaluations == ledger.search_evaluations
+        # Spend sums the per-rung budgets of each entrant's entries.
+        for method, spend in ledger.spend.items():
+            assert spend == sum(
+                e.budget for e in ledger.entries if e.method == method
+            )
+        # An eliminated entrant never reappears at a later rung.
+        for method, out_rung in ledger.eliminations:
+            assert not any(
+                e.rung > out_rung for e in ledger.entries if e.method == method
+            )
+
+    def test_rung_budgets_follow_the_geometric_schedule(self, race):
+        _result, ledger = race
+        for e in ledger.entries:
+            expected = min(ITERS, SMALL.rung0 * SMALL.eta**e.rung)
+            # A lone survivor jumps straight to the full budget instead.
+            assert e.budget in (expected, ITERS)
+
+    def test_suggestion_is_the_best_measured_config_of_the_race(self, race):
+        result, ledger = race
+        assert result.method == f"PORTFOLIO[{ledger.winner}]"
+        assert result.measured.value == min(e.value for e in ledger.entries)
+
+    def test_lone_entrant_runs_once_at_full_budget(self):
+        result, ledger = small_race(
+            spec=PortfolioSpec(rung0=20, eta=2, entrants=("RS",))
+        )
+        assert ledger.rungs == 1
+        assert ledger.entries[0].budget == ITERS
+        assert ledger.winner == "RS"
+        assert result.search_evaluations == ITERS
+
+    def test_ml_entrants_drop_without_a_predictor(self):
+        _result, ledger = small_race(
+            spec=PortfolioSpec(rung0=20, eta=2, entrants=("SAM", "SAML", "RS"))
+        )
+        raced = {e.method for e in ledger.entries}
+        assert "SAML" not in raced
+        assert raced == {"SAM", "RS"}
+
+    def test_all_ml_portfolio_without_predictor_is_rejected(self):
+        with pytest.raises(ValueError, match="predictor"):
+            small_race(spec=PortfolioSpec(rung0=20, eta=2, entrants=("SAML",)))
+
+    def test_bad_iteration_budget_is_rejected(self):
+        with pytest.raises(ValueError, match="iterations"):
+            small_race(iterations=0)
+
+
+class TestPortfolioThroughCampaign:
+    def test_scenario_report_carries_the_ledger(self):
+        cell = tune_scenario(
+            "short-read",
+            "emil",
+            method="SAM",
+            iterations=ITERS,
+            options=TuningOptions(portfolio=SMALL),
+        )
+        assert cell.portfolio is not None
+        assert cell.portfolio.spec == SMALL
+        assert cell.report.method == f"PORTFOLIO[{cell.portfolio.winner}]"
+        assert cell.report.experiments == cell.portfolio.experiments
+        # Measurement-only entrants: no training charge on the report.
+        assert cell.report.training_experiments == 0
+        assert cell.total_experiments == cell.portfolio.experiments
+
+    def test_deviceless_platform_races_without_saml(self):
+        cell = tune_scenario(
+            "short-read",
+            "manycore",
+            method="SAM",
+            iterations=ITERS,
+            options=TuningOptions(
+                portfolio=PortfolioSpec(rung0=20, eta=2, entrants=("SAM", "SAML"))
+            ),
+        )
+        assert {e.method for e in cell.portfolio.entries} == {"SAM"}
+        assert cell.report.training_experiments == 0
+
+
+class TestPortfolioMatrixDeterminism:
+    WORKLOADS = ("short-read",)
+    PLATFORMS = ("emil", "slowlink")
+
+    @pytest.fixture(scope="class")
+    def serial(self):
+        return tune_matrix(
+            self.WORKLOADS,
+            self.PLATFORMS,
+            method="SAM",
+            iterations=ITERS,
+            options=TuningOptions(portfolio=SMALL),
+        )
+
+    @pytest.mark.parametrize("start_method", multiprocessing.get_all_start_methods())
+    def test_results_are_process_count_independent(self, serial, start_method):
+        fanned = tune_matrix(
+            self.WORKLOADS,
+            self.PLATFORMS,
+            method="SAM",
+            iterations=ITERS,
+            options=TuningOptions(
+                portfolio=SMALL, processes=2, start_method=start_method
+            ),
+        )
+        assert [r.report for r in fanned] == [r.report for r in serial]
+        assert [r.portfolio for r in fanned] == [r.portfolio for r in serial]

@@ -246,3 +246,63 @@ class TestWorkloadFlags:
         code = main(["matrix", "--workloads", "nope", "--platforms", "emil"])
         assert code == 2
         assert "unknown workload" in capsys.readouterr().err
+
+
+class TestPortfolioFlags:
+    """The portfolio artifact and the --portfolio/--transfer/--store flags."""
+
+    def test_portfolio_artifact_prints_the_rung_ledger(self, capsys):
+        code = main([
+            "portfolio", "--workload", "short-read", "--iterations", "60",
+            "--portfolio", "sh:15x2:SAM+RS+HC",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "Portfolio race sh:15x2:SAM+RS+HC" in out
+        assert "won in" in out
+        assert "spend per entrant" in out
+        assert "timed experiments" in out
+
+    def test_portfolio_artifact_defaults_to_the_full_catalogue(self, capsys):
+        # Bare `--portfolio` (no spec) and the portfolio artifact both
+        # fall back to the default successive-halving schedule.
+        code = main([
+            "portfolio", "--workload", "short-read", "--iterations", "60",
+            "--transfer",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "Portfolio race sh:125x2" in out
+        assert "transfer:" in out
+
+    def test_unparseable_portfolio_spec_is_an_error(self, capsys):
+        assert main(["matrix", "--portfolio", "hyperband:3"]) == 2
+        assert "portfolio" in capsys.readouterr().err
+
+    def test_matrix_with_portfolio_reuses_stored_models(self, capsys, tmp_path):
+        from repro.ml.transfer import clear_transfer_cache
+
+        store = str(tmp_path / "store.jsonl")
+        args = [
+            "matrix", "--workloads", "short-read", "--platforms", "emil",
+            "--iterations", "60", "--portfolio", "sh:15x2:SAM+SAML+RS",
+            "--transfer", "--store", store,
+        ]
+        clear_transfer_cache()  # process-wide counters: start from zero
+        try:
+            assert main(args) == 0
+            first = capsys.readouterr().out
+            assert "portfolio short-read@Emil:" in first
+            # Warm-started training: the donor chain is dna-paper cold
+            # plus this cell warm, both measured fresh.
+            assert "1 cold fits, 1 warm fits" in first
+            assert "2 grids measured" in first
+            # A fresh process against the same store trains nothing.
+            clear_transfer_cache()
+            assert main(args) == 0
+            second = capsys.readouterr().out
+            assert "0 cold fits, 0 warm fits" in second
+            assert "2 model store hits" in second
+            assert "0 grids measured" in second
+        finally:
+            clear_transfer_cache()

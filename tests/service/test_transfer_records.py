@@ -1,0 +1,209 @@
+"""Transfer/portfolio store records and request identity (schema v3)."""
+
+import numpy as np
+import pytest
+
+from repro.core import tune_scenario
+from repro.core.options import TuningOptions
+from repro.core.portfolio import PortfolioSpec
+from repro.core.training import generate_training_data
+from repro.dna.workloads import get_workload
+from repro.machines.simulator import PlatformSimulator
+from repro.machines.spec import EMIL
+from repro.ml.boosting import BoostedDecisionTreeRegressor
+from repro.service import CampaignServer, ResultStore, ServiceClient, SubmitRequest
+from repro.service.client import cell_results
+from repro.service.serde import decode_scenario
+from repro.service.store import STORE_SCHEMA_VERSION, CellKey
+
+SIZE_MB = 300.0
+ITERS = 80
+SMALL = PortfolioSpec(rung0=20, eta=2, entrants=("SAM", "RS", "HC"))
+
+
+def tiny_grid():
+    """A deliberately small measured grid (fast to build and store)."""
+    sim = PlatformSimulator(EMIL, get_workload("short-read").profile(), seed=0)
+    return generate_training_data(
+        sim,
+        sizes_mb=(300.0, 600.0),
+        host_threads=(12, 48),
+        host_affinities=("compact",),
+        device_threads=(60, 120),
+        device_affinities=("scatter",),
+        fractions=(25.0, 50.0, 75.0),
+    )
+
+
+class TestCellKeyIdentity:
+    def test_transfer_and_portfolio_are_result_relevant(self):
+        base = CellKey.for_request("short-read", "emil", size_mb=SIZE_MB)
+        transfer = CellKey.for_request(
+            "short-read", "emil", size_mb=SIZE_MB,
+            options=TuningOptions(transfer=True),
+        )
+        portfolio = CellKey.for_request(
+            "short-read", "emil", size_mb=SIZE_MB,
+            options=TuningOptions(portfolio=SMALL),
+        )
+        assert base.transfer is False and base.portfolio is None
+        assert transfer.transfer is True
+        assert portfolio.portfolio == SMALL.key()
+        digests = {base.digest(), transfer.digest(), portfolio.digest()}
+        assert len(digests) == 3
+
+    def test_different_schedules_are_different_cells(self):
+        a = CellKey.for_request(
+            "short-read", "emil", options=TuningOptions(portfolio=SMALL)
+        )
+        b = CellKey.for_request(
+            "short-read", "emil",
+            options=TuningOptions(portfolio=PortfolioSpec(rung0=40, eta=2)),
+        )
+        assert a.digest() != b.digest()
+
+    def test_describe_names_the_knobs(self):
+        key = CellKey.for_request(
+            "short-read", "emil",
+            options=TuningOptions(transfer=True, portfolio=SMALL),
+        )
+        assert "transfer" in key.describe()
+        assert SMALL.key() in key.describe()
+
+
+class TestTrainingRecordRoundTrip:
+    def test_grid_survives_reopen_byte_exact(self, tmp_path):
+        data = tiny_grid()
+        path = tmp_path / "s.jsonl"
+        store = ResultStore(path)
+        assert store.put_training("digest-1", data, meta={"platform": "Emil"})
+        assert store.count("training") == 1
+        served = ResultStore(path).get_training("digest-1")
+        np.testing.assert_array_equal(served.host.X, data.host.X)
+        np.testing.assert_array_equal(served.host.y, data.host.y)
+        np.testing.assert_array_equal(served.device.X, data.device.X)
+        np.testing.assert_array_equal(served.device.y, data.device.y)
+
+    def test_missing_digest_is_a_miss(self, tmp_path):
+        store = ResultStore(tmp_path / "s.jsonl")
+        assert store.get_training("no-such-digest") is None
+
+
+class TestModelsRecordRoundTrip:
+    def test_model_pair_predicts_bit_identically_after_reopen(self, tmp_path):
+        data = tiny_grid()
+        host = BoostedDecisionTreeRegressor(
+            n_estimators=20, learning_rate=0.1, max_depth=3, seed=0
+        ).fit(data.host.X, data.host.y)
+        device = BoostedDecisionTreeRegressor(
+            n_estimators=20, learning_rate=0.1, max_depth=3, seed=0
+        ).fit(data.device.X, data.device.y)
+        path = tmp_path / "s.jsonl"
+        assert ResultStore(path).put_models("m-1", host, device)
+        got_host, got_device = ResultStore(path).get_models("m-1")
+        np.testing.assert_array_equal(
+            got_host.predict(data.host.X), host.predict(data.host.X)
+        )
+        np.testing.assert_array_equal(
+            got_device.predict(data.device.X), device.predict(data.device.X)
+        )
+
+    def test_foreign_schema_invalidates_transfer_records(self, tmp_path):
+        data = tiny_grid()
+        path = tmp_path / "s.jsonl"
+        ResultStore(path).put_training("digest-1", data)
+        future = ResultStore(path, schema_version=STORE_SCHEMA_VERSION + 1)
+        assert future.get_training("digest-1") is None
+        assert future.stats.invalidated == 1
+
+
+class TestPortfolioScenarioRoundTrip:
+    def test_served_cell_with_ledger_is_bit_identical(self, tmp_path):
+        report = tune_scenario(
+            "short-read",
+            "emil",
+            method="SAM",
+            size_mb=SIZE_MB,
+            iterations=ITERS,
+            options=TuningOptions(portfolio=SMALL),
+        )
+        assert report.portfolio is not None
+        cell = CellKey.for_request(
+            "short-read",
+            "emil",
+            method="SAM",
+            size_mb=SIZE_MB,
+            iterations=ITERS,
+            options=TuningOptions(portfolio=SMALL),
+        )
+        path = tmp_path / "s.jsonl"
+        assert ResultStore(path).put_scenario(cell, report)
+        served = ResultStore(path).get_scenario(cell)
+        assert served == report  # exact dataclass equality, ledger included
+
+
+class TestServiceSubmit:
+    def test_portfolio_submit_round_trips_and_dedups(self, tmp_path):
+        import asyncio
+
+        request = SubmitRequest(
+            workloads=("short-read",),
+            platforms=("emil",),
+            method="SAM",
+            size_mb=SIZE_MB,
+            iterations=ITERS,
+            portfolio=SMALL.key(),
+        )
+
+        async def main():
+            store = ResultStore(tmp_path / "store.jsonl")
+            server = await CampaignServer(store, port=0).start()
+            try:
+                async with ServiceClient(port=server.port) as client:
+                    first = await client.submit(request)
+                    second = await client.submit(request)
+                return first, second
+            finally:
+                await server.stop()
+
+        first, second = asyncio.run(main())
+        (a,) = cell_results(first)
+        (b,) = cell_results(second)
+        assert a["status"] == b["status"] == "done"
+        assert a["source"] == "evaluate" and b["source"] == "store"
+        report = decode_scenario(a["payload"])
+        assert report.portfolio is not None
+        assert report.portfolio.spec == SMALL
+        assert report.report.method == f"PORTFOLIO[{report.portfolio.winner}]"
+        assert a["payload"] == b["payload"]
+
+    def test_unparseable_portfolio_is_a_bad_request(self, tmp_path):
+        import asyncio
+
+        request = SubmitRequest(
+            workloads=("short-read",),
+            platforms=("emil",),
+            portfolio="hyperband:3",
+        )
+
+        async def main():
+            store = ResultStore(tmp_path / "store.jsonl")
+            server = await CampaignServer(store, port=0).start()
+            try:
+                async with ServiceClient(port=server.port) as client:
+                    return await client.submit(request)
+            finally:
+                await server.stop()
+
+        events = asyncio.run(main())
+        assert events[-1]["event"] == "rejected"
+        assert events[-1]["reason"] == "bad-request"
+
+
+@pytest.fixture(autouse=True)
+def clean_transfer_state():
+    from repro.ml.transfer import clear_transfer_cache
+
+    clear_transfer_cache()
+    yield
+    clear_transfer_cache()

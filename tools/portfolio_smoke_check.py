@@ -1,0 +1,97 @@
+#!/usr/bin/env python
+"""CI portfolio smoke assertion: races eliminate, the store reuses.
+
+Input: two files of ``python -m repro matrix --portfolio ... --transfer
+--store STORE`` output for the *same* matrix subset, run one after the
+other (two processes) against one store file.  Asserts the
+transfer/portfolio tier's operational contract:
+
+- every cell carries a portfolio ledger and at least one race actually
+  eliminated an entrant (the budget mechanism is live, not vacuous);
+- the first run trained models (nonzero fits) and the second run
+  trained **nothing** — every model came back from the durable store;
+- the raced outcomes are identical across the two processes.
+
+Usage: portfolio_smoke_check.py FIRST.txt SECOND.txt
+"""
+
+from __future__ import annotations
+
+import re
+import sys
+
+TRANSFER_LINE = re.compile(
+    r"transfer: (\d+) cold fits, (\d+) warm fits, (\d+) cached models, "
+    r"(\d+) model store hits, (\d+) grids measured, (\d+) grid store hits"
+)
+
+
+def read(path: str) -> str:
+    with open(path, encoding="utf-8") as fh:
+        return fh.read()
+
+
+def portfolio_lines(text: str, label: str) -> list[str]:
+    lines = [
+        line.strip()
+        for line in text.splitlines()
+        if line.strip().startswith("portfolio ")
+    ]
+    if not lines:
+        raise SystemExit(f"{label}: no portfolio ledger lines in output")
+    return lines
+
+
+def transfer_counters(text: str, label: str) -> tuple[int, ...]:
+    match = TRANSFER_LINE.search(text)
+    if match is None:
+        raise SystemExit(f"{label}: no transfer summary line in output")
+    return tuple(int(g) for g in match.groups())
+
+
+def main() -> int:
+    if len(sys.argv) != 3:
+        raise SystemExit(__doc__)
+    first_text, second_text = read(sys.argv[1]), read(sys.argv[2])
+
+    first = portfolio_lines(first_text, "first run")
+    second = portfolio_lines(second_text, "second run")
+    if not any("out at rung" in line for line in first):
+        raise SystemExit(
+            "no race eliminated any entrant — successive halving is vacuous"
+        )
+    if first != second:
+        raise SystemExit(
+            "raced outcomes differ between processes:\n"
+            + "\n".join(first)
+            + "\n-- vs --\n"
+            + "\n".join(second)
+        )
+
+    cold1, warm1, _, _, grids1, _ = transfer_counters(first_text, "first run")
+    cold2, warm2, _, model_hits2, grids2, _ = transfer_counters(
+        second_text, "second run"
+    )
+    if cold1 + warm1 == 0 or grids1 == 0:
+        raise SystemExit(
+            f"first run should have trained from scratch, saw "
+            f"{cold1} cold / {warm1} warm fits, {grids1} grids measured"
+        )
+    if cold2 + warm2 != 0 or grids2 != 0:
+        raise SystemExit(
+            f"second run re-trained ({cold2} cold / {warm2} warm fits, "
+            f"{grids2} grids) — store reuse is broken"
+        )
+    if model_hits2 == 0:
+        raise SystemExit("second run served zero models from the store")
+
+    print(
+        f"portfolio smoke ok: {len(first)} raced cells, eliminations "
+        f"present, second run reused {model_hits2} stored models "
+        f"(0 fits, 0 grids)"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
